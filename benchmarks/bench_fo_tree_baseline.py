@@ -1,0 +1,82 @@
+"""§6.4 baseline comparison — Gopher vs the FO-tree competitor.
+
+For each dataset, prints the top-3 explanations of both systems with their
+supports and *ground-truth* (retrained) bias reductions.
+
+Expected shape: FO-tree paths have larger supports and usually smaller
+verified bias reductions than Gopher's patterns — the paper's qualitative
+finding that the tree baseline is coarser and less interesting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FOTreeExplainer
+from repro.bench import build_pipeline, emit, render_table
+from repro.core import GopherExplainer
+from repro.influence import FirstOrderInfluence, RetrainInfluence
+
+
+def _run(dataset: str, n_rows: int):
+    bundle = build_pipeline(dataset, "logistic_regression", n_rows=n_rows, seed=1)
+    fo = FirstOrderInfluence(
+        bundle.model, bundle.X_train, bundle.train.labels, bundle.metric, bundle.test_ctx
+    )
+    retrainer = RetrainInfluence(
+        bundle.model, bundle.X_train, bundle.train.labels, bundle.metric, bundle.test_ctx
+    )
+
+    # Gopher (reusing the already fitted model through the public API).
+    gopher = GopherExplainer(
+        bundle.model, estimator="second_order", support_threshold=0.05, max_predicates=3
+    )
+    gopher.fit(bundle.train, bundle.test)
+    gopher_result = gopher.explain(k=3, verify=True)
+
+    # FO-tree baseline, verified with the same retraining ground truth.
+    tree = FOTreeExplainer(max_depth=3, min_samples_leaf=25).fit(bundle.train.table, fo)
+    rows = []
+    for e in gopher_result:
+        rows.append(
+            ["gopher", str(e.pattern), f"{e.support:.2%}", f"{e.gt_responsibility:.1%}"]
+        )
+    for e in tree.top_k(3):
+        mask = np.zeros(bundle.train.num_rows, dtype=bool)
+        # Recover node membership from the tree path conditions via support:
+        # FOTreeExplanation keeps sizes; for ground truth we re-derive rows
+        # by replaying the path on the training table.
+        rows.append(
+            [
+                "fo-tree",
+                " ∧ ".join(e.conditions),
+                f"{e.support:.2%}",
+                f"{retrainer.responsibility(_node_rows(tree, e)):.1%}",
+            ]
+        )
+    return bundle, rows
+
+
+def _node_rows(tree: FOTreeExplainer, explanation) -> np.ndarray:
+    """Find the tree node matching the explanation and return its row ids."""
+    for node in tree.tree.nodes():
+        if node.depth == explanation.node_depth and node.size == explanation.size:
+            if abs(node.total - explanation.total_influence) < 1e-12:
+                return node.indices
+    raise AssertionError("explanation does not correspond to a tree node")
+
+
+@pytest.mark.parametrize("dataset,n_rows", [("german", 1000), ("adult", 3000), ("sqf", 5000)])
+def test_fo_tree_baseline_comparison(benchmark, dataset, n_rows):
+    bundle, rows = benchmark.pedantic(_run, args=(dataset, n_rows), rounds=1, iterations=1)
+    emit(
+        render_table(
+            f"§6.4 baseline: Gopher vs FO-tree on {dataset} "
+            f"(bias={bundle.original_bias:.3f})",
+            ["system", "explanation", "support", "Δbias (retrained)"],
+            rows,
+            note="expected: FO-tree paths are coarser (higher support, lower Δbias)",
+        ),
+        filename=f"fo_tree_{dataset}.txt",
+    )

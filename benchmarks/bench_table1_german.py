@@ -1,0 +1,49 @@
+"""Table 1 — top-3 explanations for German Credit (τ = 5%, LR, §6.4).
+
+Runs the full Gopher pipeline and prints pattern / support / ground-truth
+Δbias rows.  Expected shape (paper Table 1): small-support patterns with
+large verified bias reductions, the protected attribute (age) prominent,
+and the top pattern centred on the older-female subgroup.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, render_table
+from repro.core import GopherExplainer
+from repro.datasets import load_german, train_test_split
+from repro.models import LogisticRegression
+
+
+def _run():
+    data = load_german(1000, seed=1)
+    train, test = train_test_split(data, 0.25, seed=1)
+    gopher = GopherExplainer(
+        LogisticRegression(l2_reg=1e-3),
+        metric="statistical_parity",
+        estimator="second_order",
+        support_threshold=0.05,
+        max_predicates=3,
+    )
+    gopher.fit(train, test)
+    result = gopher.explain(k=3, verify=True)
+    return gopher, result
+
+
+def test_table1_top3_explanations_german(benchmark):
+    gopher, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [str(e.pattern), f"{e.support:.2%}", f"{e.gt_responsibility:.1%}"]
+        for e in result
+    ]
+    emit(
+        render_table(
+            "Table 1: top-3 explanations for German "
+            f"(tau=5%, logistic regression, bias={gopher.original_bias:.3f}, "
+            f"search={result.search_seconds:.1f}s)",
+            ["pattern", "support", "Δbias (retrained)"],
+            rows,
+            note="Δbias = relative reduction in statistical parity when the subset is removed",
+        ),
+        filename="table1_german.txt",
+    )
+    assert result[0].gt_responsibility > 0

@@ -1,0 +1,51 @@
+"""Table 2 — top-3 explanations for Adult Income (τ = 5%, NN, §6.4).
+
+The paper runs this table with the feed-forward network and notes that
+second-order influence underestimates ground truth for NNs; the search
+still finds gender/marital-centred patterns that reduce bias.  First-order
+influence drives the lattice here (as the paper's §6.4 observation
+suggests SO adds little for NNs), and every winner is verified by
+retraining.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, render_table
+from repro.core import GopherExplainer
+from repro.datasets import load_adult, train_test_split
+from repro.models import NeuralNetwork
+
+
+def _run():
+    data = load_adult(3000, seed=0)
+    train, test = train_test_split(data, 0.25, seed=1)
+    gopher = GopherExplainer(
+        NeuralNetwork(hidden_units=10, l2_reg=1e-3, seed=0),
+        metric="statistical_parity",
+        estimator="first_order",
+        support_threshold=0.05,
+        max_predicates=3,
+    )
+    gopher.fit(train, test)
+    result = gopher.explain(k=3, verify=True)
+    return gopher, result
+
+
+def test_table2_top3_explanations_adult(benchmark):
+    gopher, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [str(e.pattern), f"{e.support:.2%}", f"{e.gt_responsibility:.1%}"]
+        for e in result
+    ]
+    emit(
+        render_table(
+            "Table 2: top-3 explanations for Adult "
+            f"(tau=5%, neural network, bias={gopher.original_bias:.3f}, "
+            f"search={result.search_seconds:.1f}s)",
+            ["pattern", "support", "Δbias (retrained)"],
+            rows,
+            note="gender/marital patterns reflect the household-income artifact",
+        ),
+        filename="table2_adult.txt",
+    )
+    assert len(result) >= 1

@@ -1,0 +1,71 @@
+"""Table 4 — update-based explanations for German's top-3 patterns (§6.5).
+
+For each removal explanation, search (projected gradient descent, Section 5)
+for the homogeneous update of the covered subset that maximally reduces
+bias, verify by retraining on the updated data, and print the paper's
+layout: original pattern, the update, and whether the update reduces bias
+by less (↓) or more (↑) than deleting the subset would.
+
+Expected shape: updates flip the protected/gender attributes of the top
+patterns (Age≥45∧Female → younger/male) and recover much of the removal's
+bias reduction.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import emit, render_table
+from repro.core import GopherExplainer
+from repro.datasets import load_german, train_test_split
+from repro.models import LogisticRegression
+
+
+def _run():
+    data = load_german(1000, seed=1)
+    train, test = train_test_split(data, 0.25, seed=1)
+    gopher = GopherExplainer(
+        LogisticRegression(l2_reg=1e-3),
+        estimator="second_order",
+        support_threshold=0.05,
+        max_predicates=3,
+    )
+    gopher.fit(train, test)
+    explanations = gopher.explain(k=3, verify=True)
+    start = time.perf_counter()
+    updates = gopher.explain_updates(explanations, verify=True)
+    seconds = time.perf_counter() - start
+    return gopher, explanations, updates, seconds
+
+
+def _update_rows(explanations, updates, original_bias):
+    rows = []
+    for e, u in zip(explanations, updates):
+        change = ", ".join(f"{f}: {a}->{b}" for f, (a, b) in sorted(u.changed_features.items()))
+        arrow = "v(less)" if u.direction_vs_removal == "less" else "^(more)"
+        rows.append(
+            [
+                str(e.pattern),
+                f"{e.support:.2%}",
+                f"{e.gt_responsibility:.1%}",
+                change or "(no change found)",
+                f"{-u.gt_bias_change / original_bias:.1%}",
+                arrow,
+            ]
+        )
+    return rows
+
+
+def test_table4_update_explanations_german(benchmark):
+    gopher, explanations, updates, seconds = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = _update_rows(explanations, updates, gopher.original_bias)
+    emit(
+        render_table(
+            f"Table 4: update-based explanations for German (tau=5%, {seconds:.1f}s)",
+            ["pattern", "support", "Δbias remove", "update", "Δbias update", "vs removal"],
+            rows,
+            note="v = update reduces bias less than removal, ^ = more (paper's arrows)",
+        ),
+        filename="table4_updates_german.txt",
+    )
+    assert any(u.gt_bias_change < 0 for u in updates)

@@ -1,0 +1,85 @@
+"""Scenario: running Gopher on your *own* tabular dataset.
+
+Shows the minimal plumbing a downstream user needs: build a
+:class:`~repro.tabular.Table` (from a dict here; ``repro.tabular.read_csv``
+works the same way for files), declare the protected group and favorable
+label, and hand everything to the explainer.
+
+The synthetic "hiring" data below plants an obvious bias — bootcamp
+graduates from the protected group are systematically rejected — and Gopher
+recovers exactly that subset.
+
+Run with:  python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.core import GopherExplainer
+from repro.datasets import Dataset, ProtectedGroup, train_test_split
+from repro.models import LogisticRegression
+from repro.tabular import Table
+
+
+def build_hiring_data(n: int = 1500, seed: int = 0) -> Dataset:
+    rng = np.random.default_rng(seed)
+    group = rng.choice(["blue", "green"], size=n, p=[0.6, 0.4])  # blue = privileged
+    education = rng.choice(["bootcamp", "bachelors", "masters"], size=n, p=[0.3, 0.5, 0.2])
+    experience = np.clip(rng.gamma(3.0, 2.0, n).round(), 0, 25)
+    referral = rng.choice(["yes", "no"], size=n, p=[0.25, 0.75])
+
+    merit = (
+        0.25 * experience
+        + 1.0 * (education == "masters")
+        + 0.5 * (education == "bachelors")
+        + 0.8 * (referral == "yes")
+        - 2.0
+    )
+    # Planted bias: green bootcamp graduates are rejected regardless of
+    # merit, while green masters graduates are slightly *over*-hired (so
+    # the bias is concentrated in one coherent subgroup rather than being
+    # a blanket group effect).
+    merit -= 3.0 * ((group == "green") & (education == "bootcamp"))
+    merit += 0.6 * ((group == "green") & (education == "masters"))
+    hired = (merit + rng.normal(scale=0.8, size=n) > 0).astype(np.int64)
+
+    table = Table.from_dict(
+        {
+            "group": group,
+            "education": education,
+            "experience": experience,
+            "referral": referral,
+        }
+    )
+    return Dataset(
+        "hiring",
+        table,
+        hired,
+        ProtectedGroup(attribute="group", privileged_category="blue"),
+        favorable_label=1,
+    )
+
+
+def main() -> None:
+    data = build_hiring_data()
+    train, test = train_test_split(data, test_fraction=0.25, seed=1)
+
+    gopher = GopherExplainer(
+        LogisticRegression(l2_reg=1e-3),
+        metric="statistical_parity",
+        estimator="second_order",
+        max_predicates=2,
+        support_threshold=0.05,
+    )
+    gopher.fit(train, test)
+    print(f"Hiring disparity (blue - green): {gopher.original_bias:+.4f}\n")
+
+    result = gopher.explain(k=3, verify=True)
+    print(result.render())
+    print(
+        "\nThe planted root cause — green bootcamp graduates — should appear "
+        "at or near the top."
+    )
+
+
+if __name__ == "__main__":
+    main()

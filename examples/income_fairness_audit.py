@@ -1,0 +1,62 @@
+"""Scenario: auditing an income classifier for gender bias (paper §1).
+
+This mirrors the paper's motivating example: a developer notices that a
+qualified female applicant is predicted to earn <= 50K, checks the model's
+statistical parity, and — unlike LIME/SHAP-style feature explanations —
+uses Gopher to trace the bias back to *training data subsets*: the married-
+male household-income artifact of the Adult dataset.
+
+Run with:  python examples/income_fairness_audit.py
+"""
+
+import numpy as np
+
+from repro.core import GopherExplainer
+from repro.datasets import load_adult, train_test_split
+from repro.fairness import fairness_report
+from repro.models import LogisticRegression
+
+
+def main() -> None:
+    data = load_adult(3000, seed=0)
+    train, test = train_test_split(data, test_fraction=0.25, seed=1)
+
+    gopher = GopherExplainer(
+        LogisticRegression(l2_reg=1e-3),
+        metric="statistical_parity",
+        estimator="second_order",
+        max_predicates=3,
+    )
+    gopher.fit(train, test)
+
+    # --- the developer's first surprise: an unexpected negative prediction
+    X_test = gopher.encoder.transform(test.table)
+    female = ~test.privileged_mask()
+    qualified = (np.asarray(test.table.column("education_num").values) >= 13) & female
+    predictions = gopher.model.predict(X_test)
+    idx = np.flatnonzero(qualified & (predictions == 0))
+    if idx.size:
+        person = test.table.row(int(idx[0]))
+        print("Unexpectedly rejected applicant:")
+        for key in ("age", "education", "marital", "hours", "gender"):
+            print(f"  {key:<10} {person[key]}")
+        print()
+
+    # --- the model-level diagnosis
+    print("Fairness report (positive = males favored):")
+    print(fairness_report(gopher.model, gopher.test_ctx))
+    print()
+
+    # --- the data-level diagnosis: which training subsets cause this?
+    result = gopher.explain(k=3, verify=True)
+    print(result.render())
+    print()
+    print(
+        "The marital/relationship patterns reflect Adult's household-income\n"
+        "artifact: income is recorded per household for married rows, and\n"
+        "married males dominate — exactly the root cause the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail at ``bdist_wheel``.  This file lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Gopher: interpretable data-based explanations for fairness debugging.
+
+A reproduction of Pradhan, Zhu, Glavic & Salimi (SIGMOD 2022).  The most
+common entry points are re-exported here; see the subpackages for the full
+API surface:
+
+* :mod:`repro.core` — the :class:`GopherExplainer` pipeline facade
+* :mod:`repro.datasets` — fairness datasets, encoders, splits
+* :mod:`repro.models` — twice-differentiable classifiers
+* :mod:`repro.fairness` — bias metrics and smooth surrogates
+* :mod:`repro.influence` — causal-responsibility estimators
+* :mod:`repro.patterns` — the pattern language and lattice search
+* :mod:`repro.updates` — update-based (repair) explanations
+* :mod:`repro.baselines`, :mod:`repro.poisoning`, :mod:`repro.cluster`
+"""
+
+from repro.core import GopherConfig, GopherExplainer
+from repro.datasets import (
+    Dataset,
+    ProtectedGroup,
+    load_adult,
+    load_german,
+    load_sqf,
+    train_test_split,
+)
+from repro.fairness import FairnessContext, fairness_report, get_metric
+from repro.influence import make_estimator
+from repro.models import LinearSVM, LogisticRegression, NeuralNetwork
+from repro.patterns import Pattern, Predicate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "FairnessContext",
+    "GopherConfig",
+    "GopherExplainer",
+    "LinearSVM",
+    "LogisticRegression",
+    "NeuralNetwork",
+    "Pattern",
+    "Predicate",
+    "ProtectedGroup",
+    "__version__",
+    "fairness_report",
+    "get_metric",
+    "load_adult",
+    "load_german",
+    "load_sqf",
+    "make_estimator",
+    "train_test_split",
+]

@@ -1,0 +1,19 @@
+"""Baseline explainers the paper compares against.
+
+The paper's competitor (§6.2) is **FO-tree**: fit a decision-tree regressor
+on the first-order influence of each training point, then read explanations
+off the tree — each root-to-node path is a conjunction of predicates, and
+the k nodes with the largest total influence (up to a depth cap) become the
+top-k explanations.  scikit-learn is unavailable offline, so
+:mod:`repro.baselines.decision_tree` provides a from-scratch CART regressor.
+"""
+
+from repro.baselines.decision_tree import DecisionTreeRegressor, TreeNode
+from repro.baselines.fo_tree import FOTreeExplainer, FOTreeExplanation
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "FOTreeExplainer",
+    "FOTreeExplanation",
+    "TreeNode",
+]

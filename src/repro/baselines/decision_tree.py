@@ -1,0 +1,183 @@
+"""CART regression tree (from scratch) used by the FO-tree baseline.
+
+Variance-reduction splitting on the *original* (un-encoded) feature table:
+numeric features get threshold splits (``X < t`` / ``X >= t``), categorical
+features get one-vs-rest equality splits (``X = v`` / ``X != v``), which is
+exactly the predicate vocabulary the FO-tree baseline needs to report
+pattern-like paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tabular import CategoricalColumn, NumericColumn, Table
+
+
+@dataclass
+class TreeNode:
+    """One node of the fitted tree.
+
+    ``split_*`` describe the test routed left (``feature op value`` true →
+    left child); leaves have ``left is None and right is None``.  ``path``
+    is the list of (feature, op, value, polarity) conditions from the root,
+    where polarity False negates the condition.
+    """
+
+    depth: int
+    indices: np.ndarray = field(repr=False)
+    value: float = 0.0
+    total: float = 0.0
+    split_feature: str | None = None
+    split_op: str | None = None
+    split_value: object | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    path: list[tuple[str, str, object, bool]] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+
+class DecisionTreeRegressor:
+    """Depth-limited CART with variance-reduction splits over a Table."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 20,
+        max_thresholds: int = 8,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_thresholds = int(max_thresholds)
+        self.root: TreeNode | None = None
+        self._table: Table | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, targets: np.ndarray) -> "DecisionTreeRegressor":
+        targets = np.asarray(targets, dtype=np.float64)
+        if len(targets) != table.num_rows:
+            raise ValueError(
+                f"targets length {len(targets)} != table rows {table.num_rows}"
+            )
+        self._table = table
+        self._targets = targets
+        indices = np.arange(table.num_rows)
+        self.root = self._build(indices, depth=0, path=[])
+        return self
+
+    def predict(self, table: Table) -> np.ndarray:
+        """Predict the leaf mean for each row of ``table``."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        out = np.empty(table.num_rows)
+        for i in range(table.num_rows):
+            out[i] = self._predict_row(table, i)
+        return out
+
+    def nodes(self) -> list[TreeNode]:
+        """All nodes in breadth-first order (root first)."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        queue, out = [self.root], []
+        while queue:
+            node = queue.pop(0)
+            out.append(node)
+            if node.left is not None:
+                queue.append(node.left)
+            if node.right is not None:
+                queue.append(node.right)
+        return out
+
+    # ------------------------------------------------------------------
+    def _build(
+        self, indices: np.ndarray, depth: int, path: list[tuple[str, str, object, bool]]
+    ) -> TreeNode:
+        assert self._table is not None
+        y = self._targets[indices]
+        node = TreeNode(
+            depth=depth,
+            indices=indices,
+            value=float(y.mean()),
+            total=float(y.sum()),
+            path=list(path),
+        )
+        if depth >= self.max_depth or len(indices) < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(indices)
+        if split is None:
+            return node
+        feature, op, value, left_mask = split
+        node.split_feature, node.split_op, node.split_value = feature, op, value
+        left_idx = indices[left_mask]
+        right_idx = indices[~left_mask]
+        node.left = self._build(left_idx, depth + 1, path + [(feature, op, value, True)])
+        node.right = self._build(right_idx, depth + 1, path + [(feature, op, value, False)])
+        return node
+
+    def _best_split(
+        self, indices: np.ndarray
+    ) -> tuple[str, str, object, np.ndarray] | None:
+        assert self._table is not None
+        y = self._targets[indices]
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        best_gain = 1e-12
+        best: tuple[str, str, object, np.ndarray] | None = None
+        sub = self._table.take(indices)
+        for name in sub.column_names:
+            column = sub.column(name)
+            if isinstance(column, NumericColumn):
+                candidates = np.unique(
+                    np.quantile(column.values, np.linspace(0.1, 0.9, self.max_thresholds))
+                )
+                for threshold in candidates:
+                    mask = column.less_mask(float(threshold))
+                    gain = self._gain(y, mask, base_sse)
+                    if gain > best_gain:
+                        best_gain = gain
+                        best = (name, "<", float(threshold), mask)
+            else:
+                assert isinstance(column, CategoricalColumn)
+                for value in column.distinct():
+                    mask = column.equals_mask(value)
+                    gain = self._gain(y, mask, base_sse)
+                    if gain > best_gain:
+                        best_gain = gain
+                        best = (name, "=", value, mask)
+        return best
+
+    def _gain(self, y: np.ndarray, left_mask: np.ndarray, base_sse: float) -> float:
+        n_left = int(left_mask.sum())
+        n_right = len(y) - n_left
+        if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+            return -np.inf
+        left, right = y[left_mask], y[~left_mask]
+        sse = float(((left - left.mean()) ** 2).sum() + ((right - right.mean()) ** 2).sum())
+        return base_sse - sse
+
+    def _predict_row(self, table: Table, row: int) -> float:
+        assert self.root is not None
+        node = self.root
+        while not node.is_leaf:
+            assert node.split_feature is not None
+            column = table.column(node.split_feature)
+            if node.split_op == "<":
+                assert isinstance(column, NumericColumn)
+                goes_left = bool(column.values[row] < float(node.split_value))  # type: ignore[arg-type]
+            else:
+                goes_left = bool(column.equals_mask(node.split_value)[row])
+            node = node.left if goes_left else node.right  # type: ignore[assignment]
+            assert node is not None
+        return node.value

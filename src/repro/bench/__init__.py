@@ -1,0 +1,25 @@
+"""Benchmark harness shared by the scripts in ``benchmarks/``.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(§6) and prints it in a paper-shaped ASCII form.  Output is written through
+:func:`emit`, which bypasses pytest's capture so the tables land in the
+console (and ``bench_output.txt``) even under ``pytest --benchmark-only``.
+"""
+
+from repro.bench.rendering import emit, render_series, render_table
+from repro.bench.workloads import (
+    MODELS,
+    PipelineBundle,
+    build_pipeline,
+    coherent_subsets,
+)
+
+__all__ = [
+    "MODELS",
+    "PipelineBundle",
+    "build_pipeline",
+    "coherent_subsets",
+    "emit",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,71 @@
+"""ASCII rendering for benchmark tables and figure series."""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def emit(text: str, filename: str | None = None) -> None:
+    """Write ``text`` to the *real* stdout and optionally to a results file.
+
+    pytest captures ``sys.stdout``; writing to ``sys.__stdout__`` keeps the
+    paper-shaped tables visible when the benchmarks run under
+    ``pytest benchmarks/ --benchmark-only`` (and in any ``tee`` of it).
+    """
+    stream = sys.__stdout__ or sys.stdout
+    stream.write(text if text.endswith("\n") else text + "\n")
+    stream.flush()
+    if filename is not None:
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (_RESULTS_DIR / filename).write_text(text if text.endswith("\n") else text + "\n")
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """A fixed-width table with a title rule, like the paper's Tables 1-7."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[j])), *(len(row[j]) for row in cells)) if cells else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    lines = ["", f"=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines) + "\n"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    value_format: str = "{:.6g}",
+    note: str = "",
+) -> str:
+    """A figure rendered as one row per x value, one column per line series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            row.append(value_format.format(series[name][i]))
+        rows.append(row)
+    return render_table(title, headers, rows, note=note)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,137 @@
+"""Workload builders shared by every benchmark.
+
+A :class:`PipelineBundle` is one fully-prepared experimental setup: dataset
+split, encoder, fitted model, fairness context, and metric — the state the
+paper's §6.2 calls "the setup".  Benchmarks build bundles through
+:func:`build_pipeline` so that dataset/model/metric combinations stay
+consistent across tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import TabularEncoder, load_adult, load_german, load_sqf, train_test_split
+from repro.datasets.base import Dataset
+from repro.fairness.metrics import FairnessContext, FairnessMetric, get_metric
+from repro.models import LinearSVM, LogisticRegression, NeuralNetwork
+from repro.models.base import TwiceDifferentiableClassifier
+from repro.utils.rng import ensure_rng
+
+DATASETS = {
+    "german": load_german,
+    "adult": load_adult,
+    "sqf": load_sqf,
+}
+
+MODELS = {
+    "logistic_regression": lambda: LogisticRegression(l2_reg=1e-3),
+    "svm": lambda: LinearSVM(l2_reg=1e-2),
+    "neural_network": lambda: NeuralNetwork(hidden_units=10, l2_reg=1e-3, seed=0),
+}
+
+
+@dataclass
+class PipelineBundle:
+    """Everything one experiment needs, pre-fitted."""
+
+    dataset_name: str
+    model_name: str
+    train: Dataset
+    test: Dataset
+    encoder: TabularEncoder
+    X_train: np.ndarray
+    model: TwiceDifferentiableClassifier
+    metric: FairnessMetric
+    test_ctx: FairnessContext
+
+    @property
+    def original_bias(self) -> float:
+        return self.metric.value(self.model, self.test_ctx)
+
+
+def build_pipeline(
+    dataset: str = "german",
+    model: str = "logistic_regression",
+    metric: str = "statistical_parity",
+    n_rows: int | None = None,
+    seed: int = 1,
+    split_seed: int = 1,
+    test_fraction: float = 0.25,
+) -> PipelineBundle:
+    """Load a dataset, split, encode, fit the model, and wire the metric."""
+    if dataset not in DATASETS:
+        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(DATASETS)}")
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; available: {sorted(MODELS)}")
+    loader = DATASETS[dataset]
+    data = loader(seed=seed) if n_rows is None else loader(n_rows, seed=seed)
+    train, test = train_test_split(data, test_fraction, seed=split_seed)
+    encoder = TabularEncoder().fit(train.table)
+    X_train = encoder.transform(train.table)
+    clf = MODELS[model]()
+    clf.fit(X_train, train.labels)
+    test_ctx = FairnessContext(
+        X=encoder.transform(test.table),
+        y=test.labels,
+        privileged=test.privileged_mask(),
+        favorable_label=train.favorable_label,
+    )
+    return PipelineBundle(
+        dataset_name=dataset,
+        model_name=model,
+        train=train,
+        test=test,
+        encoder=encoder,
+        X_train=X_train,
+        model=clf,
+        metric=get_metric(metric),
+        test_ctx=test_ctx,
+    )
+
+
+def coherent_subsets(
+    bundle: PipelineBundle,
+    count: int,
+    seed: int = 0,
+    min_size: int = 20,
+    max_fraction: float = 0.35,
+) -> list[np.ndarray]:
+    """Subsets for the Figure-3 experiment.
+
+    Half are *coherent*: all rows matching a random predicate (a random
+    categorical value, or a random numeric half-line), truncated into the
+    size range — the kind of subset Gopher's patterns describe.  The other
+    half are uniform random subsets of matching sizes, covering the
+    uncorrelated regime.
+    """
+    rng = ensure_rng(seed)
+    n = bundle.train.num_rows
+    max_size = max(int(max_fraction * n), min_size + 1)
+    table = bundle.train.table
+    subsets: list[np.ndarray] = []
+    attempts = 0
+    while len(subsets) < count and attempts < count * 20:
+        attempts += 1
+        if len(subsets) % 2 == 0:
+            name = str(rng.choice(table.column_names))
+            column = table.column(name)
+            if table.is_categorical(name):
+                value = str(rng.choice(column.distinct()))
+                mask = column.equals_mask(value)
+            else:
+                threshold = float(rng.choice(column.values))
+                if rng.random() < 0.5:
+                    mask = column.greater_equal_mask(threshold)
+                else:
+                    mask = column.less_mask(threshold)
+            indices = np.flatnonzero(mask)
+            if not min_size <= len(indices) <= max_size:
+                continue
+        else:
+            size = int(rng.integers(min_size, max_size))
+            indices = rng.choice(n, size=size, replace=False)
+        subsets.append(np.sort(indices))
+    return subsets

@@ -1,0 +1,13 @@
+"""Clustering and outlier-detection substrate (scikit-learn replacements).
+
+The §6.7 data-error-detection experiment needs k-means, Gaussian mixtures,
+and LocalOutlierFactor; none are available offline, so they are implemented
+here from the textbook formulations and unit-tested on data with known
+structure.
+"""
+
+from repro.cluster.gmm import GaussianMixture
+from repro.cluster.kmeans import KMeans
+from repro.cluster.lof import local_outlier_factor
+
+__all__ = ["GaussianMixture", "KMeans", "local_outlier_factor"]

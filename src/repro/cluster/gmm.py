@@ -1,0 +1,100 @@
+"""Diagonal-covariance Gaussian mixture fitted with EM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.utils.validation import check_2d
+
+_VAR_FLOOR = 1e-6
+
+
+class GaussianMixture:
+    """EM for a mixture of axis-aligned Gaussians (k-means initialized).
+
+    Diagonal covariances keep the M-step O(n·d) and are entirely adequate
+    for the cluster-then-rank detection pipeline of §6.7.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = int(n_components)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.means: np.ndarray | None = None
+        self.variances: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "GaussianMixture":
+        X = check_2d(np.asarray(X, dtype=np.float64), "X")
+        n, d = X.shape
+        if n < self.n_components:
+            raise ValueError(f"need at least {self.n_components} points, got {n}")
+        km = KMeans(self.n_components, seed=self.seed).fit(X)
+        assert km.labels is not None and km.centers is not None
+        self.means = km.centers.copy()
+        self.variances = np.full((self.n_components, d), X.var(axis=0) + _VAR_FLOOR)
+        counts = np.bincount(km.labels, minlength=self.n_components).astype(np.float64)
+        self.weights = (counts + 1.0) / (counts + 1.0).sum()
+
+        last_ll = -np.inf
+        for _ in range(self.max_iter):
+            resp, ll = self._e_step(X)
+            self._m_step(X, resp)
+            if abs(ll - last_ll) < self.tol * max(abs(last_ll), 1.0):
+                break
+            last_ll = ll
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        resp, _ = self._e_step(check_2d(np.asarray(X, dtype=np.float64), "X"))
+        return resp.argmax(axis=1)
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample log-likelihood under the mixture."""
+        X = check_2d(np.asarray(X, dtype=np.float64), "X")
+        log_probs = self._component_log_probs(X)
+        return _logsumexp(log_probs, axis=1)
+
+    # ------------------------------------------------------------------
+    def _component_log_probs(self, X: np.ndarray) -> np.ndarray:
+        assert self.weights is not None and self.means is not None
+        assert self.variances is not None
+        n, d = X.shape
+        out = np.empty((n, self.n_components))
+        for k in range(self.n_components):
+            var = self.variances[k]
+            diff2 = (X - self.means[k]) ** 2 / var
+            log_norm = -0.5 * (d * np.log(2 * np.pi) + np.log(var).sum())
+            out[:, k] = np.log(self.weights[k]) + log_norm - 0.5 * diff2.sum(axis=1)
+        return out
+
+    def _e_step(self, X: np.ndarray) -> tuple[np.ndarray, float]:
+        log_probs = self._component_log_probs(X)
+        log_total = _logsumexp(log_probs, axis=1)
+        resp = np.exp(log_probs - log_total[:, None])
+        return resp, float(log_total.sum())
+
+    def _m_step(self, X: np.ndarray, resp: np.ndarray) -> None:
+        assert self.means is not None and self.variances is not None
+        totals = resp.sum(axis=0) + 1e-12
+        self.weights = totals / totals.sum()
+        self.means = (resp.T @ X) / totals[:, None]
+        for k in range(self.n_components):
+            diff2 = (X - self.means[k]) ** 2
+            self.variances[k] = (resp[:, k] @ diff2) / totals[k] + _VAR_FLOOR
+
+
+def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
+    peak = a.max(axis=axis, keepdims=True)
+    return (peak + np.log(np.exp(a - peak).sum(axis=axis, keepdims=True))).squeeze(axis)

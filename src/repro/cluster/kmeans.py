@@ -1,0 +1,93 @@
+"""k-means with k-means++ initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    max_iter:
+        Cap on Lloyd iterations.
+    tol:
+        Stop when the total center movement falls below this.
+    seed:
+        RNG seed for the initialization.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+        self.centers: np.ndarray | None = None
+        self.labels: np.ndarray | None = None
+        self.inertia: float | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = check_2d(np.asarray(X, dtype=np.float64), "X")
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} points, got {len(X)}"
+            )
+        rng = ensure_rng(self.seed)
+        centers = self._plus_plus_init(X, rng)
+        for _ in range(self.max_iter):
+            labels = self._assign(X, centers)
+            new_centers = centers.copy()
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+            movement = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if movement < self.tol:
+                break
+        self.centers = centers
+        self.labels = self._assign(X, centers)
+        diffs = X - centers[self.labels]
+        self.inertia = float((diffs**2).sum())
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.centers is None:
+            raise RuntimeError("KMeans is not fitted")
+        X = check_2d(np.asarray(X, dtype=np.float64), "X")
+        return self._assign(X, self.centers)
+
+    # ------------------------------------------------------------------
+    def _assign(self, X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def _plus_plus_init(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = len(X)
+        centers = [X[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            dist2 = np.min(
+                ((X[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2), axis=1
+            )
+            total = dist2.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(n)])
+                continue
+            probs = dist2 / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.asarray(centers)

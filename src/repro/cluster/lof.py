@@ -1,0 +1,44 @@
+"""Local Outlier Factor (Breunig et al. 2000).
+
+This is the anomaly-detection baseline of §6.7: the paper shows that
+LOF fails to flag anchoring-attack poison because the injected points mimic
+the local density of genuine data.  Scores follow the scikit-learn
+convention: LOF ≈ 1 for inliers, substantially > 1 for outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+def local_outlier_factor(X: np.ndarray, n_neighbors: int = 20) -> np.ndarray:
+    """Return the LOF score of every row of ``X``.
+
+    Brute-force O(n²) distances — fine at the dataset sizes the detection
+    experiment uses (thousands of rows).
+    """
+    X = check_2d(np.asarray(X, dtype=np.float64), "X")
+    n = len(X)
+    if n_neighbors < 1:
+        raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+    if n <= n_neighbors:
+        raise ValueError(f"need more than n_neighbors={n_neighbors} points, got {n}")
+
+    # Pairwise distances with the diagonal pushed to infinity.
+    sq = (X**2).sum(axis=1)
+    dist2 = np.maximum(sq[:, None] + sq[None, :] - 2.0 * (X @ X.T), 0.0)
+    dist = np.sqrt(dist2)
+    np.fill_diagonal(dist, np.inf)
+
+    neighbor_idx = np.argsort(dist, axis=1)[:, :n_neighbors]
+    neighbor_dist = np.take_along_axis(dist, neighbor_idx, axis=1)
+    k_distance = neighbor_dist[:, -1]
+
+    # reach-dist_k(a, b) = max(k-distance(b), d(a, b))
+    reach = np.maximum(neighbor_dist, k_distance[neighbor_idx])
+    lrd = n_neighbors / (reach.sum(axis=1) + 1e-12)
+
+    lof = (lrd[neighbor_idx].sum(axis=1) / n_neighbors) / (lrd + 1e-12)
+    return lof

@@ -1,0 +1,13 @@
+"""Gopher's public API.
+
+:class:`GopherExplainer` ties the whole pipeline together: encode a fairness
+dataset, fit (or accept) a twice-differentiable model, measure its bias,
+search the pattern lattice for the training subsets most causally
+responsible, and optionally verify the winners by actual retraining.
+"""
+
+from repro.core.config import GopherConfig
+from repro.core.explainer import GopherExplainer
+from repro.core.explanation import Explanation, ExplanationSet
+
+__all__ = ["Explanation", "ExplanationSet", "GopherConfig", "GopherExplainer"]

@@ -1,0 +1,81 @@
+"""Configuration for the end-to-end Gopher pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fairness.metrics import list_metrics
+
+_ESTIMATORS = ("first_order", "second_order", "one_step_gd", "retrain")
+
+
+@dataclass
+class GopherConfig:
+    """All knobs of the explanation pipeline, with the paper's defaults.
+
+    Attributes
+    ----------
+    metric:
+        Fairness metric name (see :func:`repro.fairness.list_metrics`).
+    estimator:
+        Influence estimator driving the lattice search.  ``"second_order"``
+        is the paper's recommendation for coherent subsets; switch to
+        ``"first_order"`` for the fastest search on large candidate spaces.
+    estimator_kwargs:
+        Extra keyword arguments for the estimator constructor.
+    support_threshold:
+        τ of Algorithm 1 — the paper's experiments use 5%.
+    max_predicates:
+        Maximum predicates per pattern (papers' tables use 3–4).
+    num_bins:
+        Quantile bins per numeric feature for candidate thresholds.
+    containment_threshold:
+        c of Algorithm 2 — maximum allowed overlap with already-selected
+        explanations.
+    prune_by_responsibility:
+        Heuristic 2 of Algorithm 1 (merged patterns must strictly improve
+        responsibility); exposed for the ablation benchmark.
+    exclude_protected_only:
+        Drop top-k candidates whose predicates mention *only* the protected
+        attribute — "the protected group is responsible" is a vacuous
+        explanation (the paper's tables never contain one).  The attribute
+        still appears freely in combination with other predicates.
+    max_responsibility:
+        Definition 3.1's root-cause upper bound (removal must not overshoot
+        the bias past zero), with slack for estimation noise; see
+        :func:`repro.patterns.select_top_k`.
+    exclude_features:
+        Features that must not appear in explanation predicates.
+    test_fraction / seed:
+        Used only by the convenience path that splits a single dataset.
+    """
+
+    metric: str = "statistical_parity"
+    estimator: str = "second_order"
+    estimator_kwargs: dict = field(default_factory=dict)
+    support_threshold: float = 0.05
+    max_predicates: int = 3
+    num_bins: int = 4
+    containment_threshold: float = 0.5
+    prune_by_responsibility: bool = True
+    exclude_protected_only: bool = True
+    max_responsibility: float = 1.25
+    exclude_features: set[str] = field(default_factory=set)
+    test_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.metric not in list_metrics():
+            raise ValueError(f"unknown metric {self.metric!r}; available: {list_metrics()}")
+        if self.estimator not in _ESTIMATORS:
+            raise ValueError(f"unknown estimator {self.estimator!r}; available: {_ESTIMATORS}")
+        if not 0.0 <= self.support_threshold < 1.0:
+            raise ValueError(f"support_threshold must be in [0, 1), got {self.support_threshold}")
+        if not 0.0 < self.containment_threshold <= 1.0:
+            raise ValueError(
+                f"containment_threshold must be in (0, 1], got {self.containment_threshold}"
+            )
+        if self.max_predicates < 1:
+            raise ValueError(f"max_predicates must be >= 1, got {self.max_predicates}")
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {self.test_fraction}")

@@ -1,0 +1,228 @@
+"""The end-to-end Gopher pipeline (paper §6.2's setup in one object)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import GopherConfig
+from repro.core.explanation import Explanation, ExplanationSet
+from repro.datasets.base import Dataset
+from repro.datasets.encoding import TabularEncoder
+from repro.datasets.splits import train_test_split
+from repro.fairness.metrics import FairnessContext, get_metric
+from repro.fairness.report import FairnessReport, fairness_report
+from repro.influence.estimators import InfluenceEstimator, make_estimator
+from repro.influence.retrain import RetrainInfluence
+from repro.models.base import TwiceDifferentiableClassifier
+from repro.patterns.lattice import compute_candidates
+from repro.patterns.pattern import Pattern
+from repro.patterns.topk import select_top_k
+
+
+class GopherExplainer:
+    """Generate data-based explanations for the bias of a classifier.
+
+    Typical use::
+
+        model = LogisticRegression()
+        gopher = GopherExplainer(model, metric="statistical_parity")
+        gopher.fit(train_dataset, test_dataset)
+        result = gopher.explain(k=3)
+        print(result.render())
+
+    ``fit`` encodes the data, trains the model (unless it is already
+    fitted), measures the original bias on the test split and pre-computes
+    the influence machinery; ``explain`` runs the lattice search and the
+    diversity filter, optionally verifying each winner by retraining.
+    """
+
+    def __init__(
+        self,
+        model: TwiceDifferentiableClassifier,
+        config: GopherConfig | None = None,
+        **overrides: object,
+    ) -> None:
+        if config is not None and overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.model = model
+        self.config = config if config is not None else GopherConfig(**overrides)  # type: ignore[arg-type]
+        self.metric = get_metric(self.config.metric)
+        self.encoder: TabularEncoder | None = None
+        self.train_data: Dataset | None = None
+        self.test_data: Dataset | None = None
+        self.X_train: np.ndarray | None = None
+        self.test_ctx: FairnessContext | None = None
+        self.estimator: InfluenceEstimator | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, train: Dataset, test: Dataset | None = None) -> "GopherExplainer":
+        """Prepare the pipeline on a train/test pair.
+
+        When ``test`` is omitted, ``train`` is split using the config's
+        ``test_fraction`` and ``seed``.
+        """
+        if test is None:
+            train, test = train_test_split(train, self.config.test_fraction, self.config.seed)
+        self.train_data, self.test_data = train, test
+        self.encoder = TabularEncoder().fit(train.table)
+        self.X_train = self.encoder.transform(train.table)
+        X_test = self.encoder.transform(test.table)
+        if self.model.theta is None:
+            self.model.fit(self.X_train, train.labels)
+        self.test_ctx = FairnessContext(
+            X=X_test,
+            y=test.labels,
+            privileged=test.privileged_mask(),
+            favorable_label=train.favorable_label,
+        )
+        self.estimator = make_estimator(
+            self.config.estimator,
+            self.model,
+            self.X_train,
+            train.labels,
+            self.metric,
+            self.test_ctx,
+            **self.config.estimator_kwargs,
+        )
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.estimator is None:
+            raise RuntimeError("explainer is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    @property
+    def original_bias(self) -> float:
+        """F(θ*, D_test) with the hard metric."""
+        self._require_fitted()
+        assert self.estimator is not None
+        return self.estimator.original_bias
+
+    def report(self) -> FairnessReport:
+        """Accuracy + all fairness metrics of the fitted model."""
+        self._require_fitted()
+        assert self.test_ctx is not None
+        return fairness_report(self.model, self.test_ctx)
+
+    # ------------------------------------------------------------------
+    def explain(self, k: int = 3, verify: bool = True) -> ExplanationSet:
+        """Compute the top-k diverse explanations (Algorithms 1 + 2).
+
+        With ``verify=True`` each selected explanation's subset is actually
+        removed and the model retrained, filling the ground-truth Δbias
+        fields the paper's tables report.
+        """
+        self._require_fitted()
+        assert self.train_data is not None and self.estimator is not None
+        cfg = self.config
+
+        start = time.perf_counter()
+        lattice = compute_candidates(
+            self.train_data.table,
+            self.estimator,
+            support_threshold=cfg.support_threshold,
+            max_predicates=cfg.max_predicates,
+            num_bins=cfg.num_bins,
+            exclude_features=cfg.exclude_features or None,
+            prune_by_responsibility=cfg.prune_by_responsibility,
+            max_responsibility=cfg.max_responsibility,
+        )
+        search_seconds = time.perf_counter() - start
+        protected_only = (
+            {self.train_data.protected.attribute} if cfg.exclude_protected_only else None
+        )
+        selected, filter_seconds = select_top_k(
+            lattice.candidates,
+            k,
+            cfg.containment_threshold,
+            exclude_features_only=protected_only,
+            max_responsibility=cfg.max_responsibility,
+        )
+        explanations = [Explanation.from_stats(i + 1, s) for i, s in enumerate(selected)]
+        if verify:
+            self._verify(explanations, [s.mask() for s in selected])
+        return ExplanationSet(
+            explanations=explanations,
+            metric_name=cfg.metric,
+            original_bias=self.original_bias,
+            search_seconds=search_seconds,
+            filter_seconds=filter_seconds,
+            lattice=lattice,
+        )
+
+    def _verify(self, explanations: list[Explanation], masks: list[np.ndarray]) -> None:
+        retrainer = self._retrainer()
+        for explanation, mask in zip(explanations, masks):
+            delta = retrainer.bias_change(np.flatnonzero(mask))
+            explanation.gt_bias_change = delta
+            explanation.gt_responsibility = (
+                -delta / retrainer.original_bias if retrainer.original_bias else 0.0
+            )
+
+    def _retrainer(self) -> RetrainInfluence:
+        assert self.train_data is not None and self.X_train is not None
+        assert self.test_ctx is not None
+        return RetrainInfluence(
+            self.model, self.X_train, self.train_data.labels, self.metric, self.test_ctx
+        )
+
+    # ------------------------------------------------------------------
+    def explain_updates(
+        self,
+        explanations: ExplanationSet,
+        verify: bool = True,
+        allowed_features: set[str] | None = None,
+        learning_rate: float = 0.25,
+        num_steps: int = 120,
+    ):
+        """Section 5: one update-based explanation per removal explanation.
+
+        For every pattern in ``explanations``, search for the homogeneous
+        update of its subset that maximally reduces bias.  Returns a list of
+        :class:`repro.updates.UpdateExplanation`, aligned with the input.
+        """
+        from repro.updates.projected_gd import find_update_explanation
+
+        self._require_fitted()
+        assert self.train_data is not None and self.encoder is not None
+        assert self.X_train is not None and self.test_ctx is not None
+        results = []
+        for explanation in explanations:
+            mask = explanation.pattern.mask(self.train_data.table)
+            results.append(
+                find_update_explanation(
+                    self.model,
+                    self.encoder,
+                    self.X_train,
+                    self.train_data.labels,
+                    self.metric,
+                    self.test_ctx,
+                    explanation.pattern,
+                    np.flatnonzero(mask),
+                    allowed_features=allowed_features,
+                    learning_rate=learning_rate,
+                    num_steps=num_steps,
+                    verify=verify,
+                    removal_bias_change=explanation.gt_bias_change,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def responsibility_of(self, pattern: Pattern, ground_truth: bool = False) -> float:
+        """Responsibility of an arbitrary user-supplied pattern.
+
+        Useful for interactive debugging ("how much does *this* subset I
+        suspect actually matter?").  ``ground_truth=True`` retrains.
+        """
+        self._require_fitted()
+        assert self.train_data is not None and self.estimator is not None
+        mask = pattern.mask(self.train_data.table)
+        if not mask.any():
+            raise ValueError(f"pattern {pattern} matches no training rows")
+        indices = np.flatnonzero(mask)
+        if ground_truth:
+            return self._retrainer().responsibility(indices)
+        return self.estimator.responsibility(indices)

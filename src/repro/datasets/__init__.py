@@ -1,0 +1,29 @@
+"""Dataset layer: schemas, fairness datasets, encoders, binning, splits.
+
+The three benchmark datasets of the paper (German Credit, Adult Income, NYPD
+Stop-Question-Frisk) are produced by synthetic generators that reproduce each
+dataset's schema and — crucially — the *bias mechanism* the paper's
+experiments rely on (see DESIGN.md §1 for the substitution rationale).  Real
+CSV files can be loaded through the same classes when available.
+"""
+
+from repro.datasets.adult import load_adult
+from repro.datasets.base import Dataset, ProtectedGroup
+from repro.datasets.binning import equal_width_thresholds, quantile_thresholds
+from repro.datasets.encoding import EncodedGroup, TabularEncoder
+from repro.datasets.german import load_german
+from repro.datasets.splits import train_test_split
+from repro.datasets.sqf import load_sqf
+
+__all__ = [
+    "Dataset",
+    "EncodedGroup",
+    "ProtectedGroup",
+    "TabularEncoder",
+    "equal_width_thresholds",
+    "load_adult",
+    "load_german",
+    "load_sqf",
+    "quantile_thresholds",
+    "train_test_split",
+]

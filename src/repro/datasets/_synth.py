@@ -1,0 +1,31 @@
+"""Shared helpers for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def bernoulli(logits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample binary labels from per-row logits."""
+    return (rng.random(len(logits)) < sigmoid(np.asarray(logits, dtype=np.float64))).astype(
+        np.int64
+    )
+
+
+def categorical(
+    rng: np.random.Generator, n: int, values: list[str], probs: list[float]
+) -> np.ndarray:
+    """Sample ``n`` categorical values with the given probabilities."""
+    probs_arr = np.asarray(probs, dtype=np.float64)
+    probs_arr = probs_arr / probs_arr.sum()
+    return rng.choice(np.asarray(values, dtype=object), size=n, p=probs_arr)

@@ -1,0 +1,183 @@
+"""Synthetic Adult Income data (UCI schema, paper §6.1).
+
+The paper leans on a documented inconsistency of the real Adult data: the
+income attribute reports *household* income for married individuals, and the
+data contains more married males, creating a favourable bias toward males.
+The generator plants that artifact directly:
+
+* income depends on legitimate signals (education, hours, age, occupation);
+* **married individuals** get a large household-income boost, and marriage is
+  strongly gender-skewed (males are far more likely to be recorded as
+  ``Married-civ-spouse`` with ``relationship = Husband``);
+* a small direct gender effect mirrors residual wage-gap signal.
+
+Protected attribute: ``gender`` (Male privileged).  Favorable label: 1
+(income > 50K).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets._synth import bernoulli, categorical
+from repro.datasets.base import Dataset, ProtectedGroup
+from repro.tabular import Table, read_csv
+from repro.utils.rng import ensure_rng
+
+_PROTECTED = ProtectedGroup(attribute="gender", privileged_category="Male")
+
+_WORKCLASS = ["Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov"]
+_EDUCATION = [
+    "HS-grad",
+    "Some-college",
+    "Bachelors",
+    "Masters",
+    "Assoc-voc",
+    "Assoc-acdm",
+    "11th",
+    "Prof-school",
+    "Doctorate",
+]
+_EDU_YEARS = {
+    "11th": 7.0,
+    "HS-grad": 9.0,
+    "Some-college": 10.0,
+    "Assoc-voc": 11.0,
+    "Assoc-acdm": 12.0,
+    "Bachelors": 13.0,
+    "Masters": 14.0,
+    "Prof-school": 15.0,
+    "Doctorate": 16.0,
+}
+_MARITAL = [
+    "Married-civ-spouse",
+    "Never-married",
+    "Divorced",
+    "Separated",
+    "Widowed",
+]
+_OCCUPATION = [
+    "Prof-specialty",
+    "Craft-repair",
+    "Exec-managerial",
+    "Adm-clerical",
+    "Sales",
+    "Other-service",
+    "Machine-op-inspct",
+    "Transport-moving",
+]
+_RACE = ["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"]
+
+
+def load_adult(
+    n_rows: int = 4000,
+    seed: int | np.random.Generator | None = 0,
+    bias_strength: float = 1.0,
+    csv_path: str | Path | None = None,
+) -> Dataset:
+    """Generate (or load) the Adult Income dataset.
+
+    ``bias_strength`` scales the household-income artifact and the direct
+    gender effect; 0 yields nearly fair data.
+    """
+    if csv_path is not None:
+        return _from_csv(csv_path)
+    rng = ensure_rng(seed)
+    n = int(n_rows)
+    if n < 100:
+        raise ValueError(f"n_rows must be >= 100 for a usable dataset, got {n}")
+
+    gender = categorical(rng, n, ["Male", "Female"], [0.67, 0.33])
+    male = gender == "Male"
+    age = np.clip(rng.normal(39, 13, n).round(), 17, 90)
+
+    # Marriage is gender-skewed, reproducing the household-income artifact.
+    marital = np.empty(n, dtype=object)
+    p_married = np.where(male, 0.61, 0.15)
+    married = rng.random(n) < p_married
+    marital[married] = "Married-civ-spouse"
+    marital[~married] = categorical(
+        rng, int((~married).sum()), ["Never-married", "Divorced", "Separated", "Widowed"],
+        [0.55, 0.28, 0.07, 0.10],
+    )
+
+    relationship = np.empty(n, dtype=object)
+    relationship[married & male] = "Husband"
+    relationship[married & ~male] = "Wife"
+    unmarried = ~married
+    relationship[unmarried] = categorical(
+        rng, int(unmarried.sum()), ["Not-in-family", "Own-child", "Unmarried", "Other-relative"],
+        [0.48, 0.26, 0.20, 0.06],
+    )
+
+    education = categorical(
+        rng, n, _EDUCATION, [0.32, 0.22, 0.17, 0.06, 0.04, 0.03, 0.07, 0.02, 0.07]
+    )
+    education_num = np.asarray([_EDU_YEARS[e] for e in education])
+    workclass = categorical(rng, n, _WORKCLASS, [0.70, 0.08, 0.04, 0.04, 0.07, 0.07])
+    occupation = categorical(rng, n, _OCCUPATION, [0.15, 0.13, 0.14, 0.12, 0.12, 0.12, 0.11, 0.11])
+    race = categorical(rng, n, _RACE, [0.85, 0.10, 0.03, 0.01, 0.01])
+    hours = np.clip(rng.normal(41 + 3 * male, 10, n).round(), 5, 99)
+    capital_gain = np.where(rng.random(n) < 0.08, rng.lognormal(8.0, 1.0, n).round(), 0.0)
+    capital_loss = np.where(rng.random(n) < 0.05, rng.lognormal(7.2, 0.5, n).round(), 0.0)
+
+    # Legitimate income signal.
+    logits = (
+        -2.4
+        + 0.33 * (education_num - 10.0)
+        + 0.030 * (hours - 40.0)
+        + 0.020 * (age - 39.0)
+        - 0.00025 * np.maximum(age - 55.0, 0.0) ** 2
+        + 0.55 * np.isin(occupation, ["Exec-managerial", "Prof-specialty"])
+        + 0.0001 * capital_gain
+    )
+
+    # Planted bias, spread over three coherent mechanisms so that no single
+    # one-predicate group explains the disparity away (the paper notes the
+    # blanket [marital = Married] pattern must *lose* on interestingness):
+    # the household-income recording artifact for married rows, an
+    # overwork-culture boost for long-hours males, and a glass-ceiling
+    # penalty for highly educated females.
+    # The female-side mechanisms deliberately pull in opposite directions
+    # (glass ceiling for the educated, a mild boost for the rest): removing
+    # *all* female rows then mixes counteracting effects, so the coherent
+    # subgroups out-rank the blanket [gender = Female] pattern — matching
+    # the paper's observation that low-interestingness blanket patterns
+    # must not dominate the top-k.
+    long_hours_male = male & (hours >= 45.0)
+    educated_female = ~male & (education_num >= 13.0)
+    bias = (
+        1.4 * (married & male)
+        + 0.8 * long_hours_male
+        - 1.2 * educated_female
+        + 0.5 * (~male & (education_num < 13.0))
+    )
+    labels = bernoulli(logits + bias_strength * bias, rng)
+
+    table = Table.from_dict(
+        {
+            "age": age,
+            "workclass": workclass,
+            "education": education,
+            "education_num": education_num,
+            "marital": marital,
+            "occupation": occupation,
+            "relationship": relationship,
+            "race": race,
+            "gender": gender,
+            "capital_gain": capital_gain,
+            "capital_loss": capital_loss,
+            "hours": hours,
+        }
+    )
+    return Dataset("adult", table, labels, _PROTECTED, favorable_label=1)
+
+
+def _from_csv(path: str | Path) -> Dataset:
+    table = read_csv(path)
+    if "income" not in table:
+        raise ValueError("Adult CSV must contain an 'income' label column")
+    labels = np.asarray(table.column("income").values, dtype=np.float64).astype(np.int64)
+    return Dataset("adult", table.drop(["income"]), labels, _PROTECTED, favorable_label=1)

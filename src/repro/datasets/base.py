@@ -1,0 +1,164 @@
+"""Core dataset abstractions: protected groups and labelled tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tabular import CategoricalColumn, NumericColumn, Table
+from repro.utils.validation import check_binary_labels
+
+
+@dataclass(frozen=True)
+class ProtectedGroup:
+    """Declares the protected attribute and who counts as privileged.
+
+    For a categorical attribute, rows whose value equals
+    ``privileged_category`` are privileged (S = 1 in the paper's notation).
+    For a numeric attribute, rows with value >= ``privileged_threshold`` are
+    privileged (e.g. German Credit privileges age >= 45).
+    """
+
+    attribute: str
+    privileged_category: str | None = None
+    privileged_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        has_cat = self.privileged_category is not None
+        has_thr = self.privileged_threshold is not None
+        if has_cat == has_thr:
+            raise ValueError(
+                "exactly one of privileged_category / privileged_threshold is required"
+            )
+
+    def privileged_mask(self, table: Table) -> np.ndarray:
+        """Boolean mask over ``table`` rows: True = privileged group."""
+        column = table.column(self.attribute)
+        if self.privileged_category is not None:
+            if not isinstance(column, CategoricalColumn):
+                raise TypeError(
+                    f"{self.attribute!r} must be categorical for category-based groups"
+                )
+            return column.equals_mask(self.privileged_category)
+        if not isinstance(column, NumericColumn):
+            raise TypeError(
+                f"{self.attribute!r} must be numeric for threshold-based groups"
+            )
+        return column.greater_equal_mask(float(self.privileged_threshold))  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        if self.privileged_category is not None:
+            return f"{self.attribute} = {self.privileged_category} (privileged)"
+        return f"{self.attribute} >= {self.privileged_threshold} (privileged)"
+
+
+class Dataset:
+    """A labelled table plus the fairness metadata the paper's setup needs.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dataset identifier (e.g. ``"german"``).
+    table:
+        Feature table (the label is kept separately).
+    labels:
+        Binary labels aligned with ``table`` rows.
+    protected:
+        Protected-group declaration (attribute + privileged side).
+    favorable_label:
+        The label value considered the favorable outcome.  1 for German and
+        Adult (good credit / high income); 0 for SQF, where *not* being
+        frisked is favorable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        labels: np.ndarray,
+        protected: ProtectedGroup,
+        favorable_label: int = 1,
+    ) -> None:
+        self.name = name
+        self.table = table
+        self.labels = check_binary_labels(labels, "labels")
+        if len(self.labels) != table.num_rows:
+            raise ValueError(
+                f"labels length {len(self.labels)} != table rows {table.num_rows}"
+            )
+        if protected.attribute not in table:
+            raise ValueError(
+                f"protected attribute {protected.attribute!r} missing from table"
+            )
+        if favorable_label not in (0, 1):
+            raise ValueError(f"favorable_label must be 0 or 1, got {favorable_label}")
+        self.protected = protected
+        self.favorable_label = int(favorable_label)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def feature_names(self) -> list[str]:
+        return self.table.column_names
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, rows={self.num_rows}, "
+            f"protected={self.protected.describe()!r})"
+        )
+
+    def privileged_mask(self) -> np.ndarray:
+        """True where the row belongs to the privileged group."""
+        return self.protected.privileged_mask(self.table)
+
+    def favorable_mask(self) -> np.ndarray:
+        """True where the *true label* is the favorable outcome."""
+        return self.labels == self.favorable_label
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Dataset restricted to the given row indices (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            self.name,
+            self.table.take(indices),
+            self.labels[indices],
+            self.protected,
+            self.favorable_label,
+        )
+
+    def without(self, mask: np.ndarray) -> "Dataset":
+        """Dataset with rows where ``mask`` is True removed (an intervention)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_rows,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.num_rows},)")
+        return self.subset(np.flatnonzero(~mask))
+
+    def replicate(self, factor: int) -> "Dataset":
+        """Tile the dataset ``factor`` times (Figure 5 scale-up workload)."""
+        return Dataset(
+            self.name,
+            self.table.replicate(factor),
+            np.tile(self.labels, factor),
+            self.protected,
+            self.favorable_label,
+        )
+
+    def with_rows(self, extra_table: Table, extra_labels: np.ndarray) -> "Dataset":
+        """Append rows (used by poisoning attacks to inject points)."""
+        extra_labels = check_binary_labels(np.asarray(extra_labels), "extra_labels")
+        return Dataset(
+            self.name,
+            self.table.concat(extra_table),
+            np.concatenate([self.labels, extra_labels]),
+            self.protected,
+            self.favorable_label,
+        )
+
+    def renamed(self, name: str) -> "Dataset":
+        out = Dataset(name, self.table, self.labels, self.protected, self.favorable_label)
+        return out

@@ -1,0 +1,43 @@
+"""Binning of numeric features for pattern-candidate generation.
+
+Algorithm 1 of the paper enumerates single predicates ``X op val``.  For
+numeric columns with many distinct values this explodes the search space and
+produces near-duplicate explanations (``hours < 40`` vs ``hours < 42``), so
+the paper applies binning; these helpers pick the candidate thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantile_thresholds(values: np.ndarray, num_bins: int) -> list[float]:
+    """Thresholds at the interior quantiles of ``values``.
+
+    Returns at most ``num_bins - 1`` strictly increasing thresholds; ties in
+    the data can collapse quantiles, so fewer may be returned.
+    """
+    if num_bins < 2:
+        raise ValueError(f"num_bins must be >= 2, got {num_bins}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    qs = np.linspace(0.0, 1.0, num_bins + 1)[1:-1]
+    thresholds = np.quantile(arr, qs)
+    unique = np.unique(thresholds)
+    lo, hi = arr.min(), arr.max()
+    return [float(t) for t in unique if lo < t < hi]
+
+
+def equal_width_thresholds(values: np.ndarray, num_bins: int) -> list[float]:
+    """Thresholds splitting the observed range into equal-width bins."""
+    if num_bins < 2:
+        raise ValueError(f"num_bins must be >= 2, got {num_bins}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo == hi:
+        return []
+    edges = np.linspace(lo, hi, num_bins + 1)[1:-1]
+    return [float(e) for e in np.unique(edges)]

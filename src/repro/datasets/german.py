@@ -1,0 +1,179 @@
+"""Synthetic German Credit data (UCI schema, paper §6.1).
+
+The paper reports that German Credit "is biased toward older individuals and
+considers them less likely to be characterized as high credit risks", and its
+Table 1 explanations pin the bias on coherent subgroups — most prominently
+older females, and older males whose credit history is spotless.  The
+generator plants exactly those mechanisms:
+
+* labels depend on legitimate signals (savings, credit amount, duration,
+  employment length, credit history);
+* **older females** (``age >= 45 & gender = Female``) are labelled good
+  credit risks at a strongly inflated rate;
+* **older males with all credits paid back duly** get a similar boost;
+* a young-skewed subgroup (``debtors = None & employment = [1,4) &
+  installment_rate = 4 & residence = 2``) is labelled *bad* at an inflated
+  rate, the third bias source of Table 1.
+
+Protected attribute: ``age`` with the privileged group ``age >= 45``
+(matching the age split the paper's explanations use).  Favorable label: 1
+(good credit).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets._synth import bernoulli, categorical
+from repro.datasets.base import Dataset, ProtectedGroup
+from repro.tabular import Table, read_csv
+from repro.utils.rng import ensure_rng
+
+_PROTECTED = ProtectedGroup(attribute="age", privileged_threshold=45.0)
+
+_CREDIT_HISTORY = [
+    "No credits taken",
+    "All credits paid back duly",
+    "Existing credits paid back duly",
+    "Delay in paying off",
+    "Critical account",
+]
+_PURPOSE = ["Car", "Furniture", "Radio/TV", "Education", "Business"]
+_SAVINGS = ["<100", "100-500", "500-1000", ">=1000"]
+_EMPLOYMENT = ["Unemployed", "[0,1) years", "[1,4) years", "[4,7) years", ">=7 years"]
+_STATUS = ["<0", "0-200", ">=200", "No account"]
+_DEBTORS = ["None", "Co-applicant", "Guarantor"]
+_PROPERTY = ["Real estate", "Savings agreement", "Car", "Unknown"]
+_OTHER_INSTALLMENT = ["Bank", "Stores", "None"]
+_HOUSING = ["Own", "Rent", "Free"]
+_JOB = ["Unskilled", "Skilled", "Management", "Unemployed"]
+
+
+def load_german(
+    n_rows: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+    bias_strength: float = 1.0,
+    csv_path: str | Path | None = None,
+) -> Dataset:
+    """Generate (or load) the German Credit dataset.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of rows to generate (UCI original: 1,000).
+    seed:
+        RNG seed for reproducibility.
+    bias_strength:
+        Scales the planted age-bias terms; 0 yields a (nearly) fair dataset,
+        useful for ablations and tests.
+    csv_path:
+        If given, load the real data from CSV instead of generating.  The
+        file must contain the columns produced by this generator plus a
+        ``credit_risk`` label column with values 0/1.
+    """
+    if csv_path is not None:
+        return _from_csv(csv_path)
+    rng = ensure_rng(seed)
+    n = int(n_rows)
+    if n < 50:
+        raise ValueError(f"n_rows must be >= 50 for a usable dataset, got {n}")
+
+    age = np.clip(rng.normal(38, 12, n).round(), 19, 75)
+    gender = categorical(rng, n, ["Male", "Female"], [0.62, 0.38])
+    status = categorical(rng, n, _STATUS, [0.27, 0.27, 0.06, 0.40])
+    duration = np.clip(rng.gamma(3.0, 7.0, n).round(), 4, 72)
+    credit_history = categorical(rng, n, _CREDIT_HISTORY, [0.04, 0.30, 0.53, 0.09, 0.04])
+    purpose = categorical(rng, n, _PURPOSE, [0.35, 0.18, 0.28, 0.10, 0.09])
+    amount = np.clip(rng.lognormal(7.9, 0.8, n).round(), 250, 20000)
+    savings = categorical(rng, n, _SAVINGS, [0.60, 0.21, 0.11, 0.08])
+    employment = categorical(rng, n, _EMPLOYMENT, [0.06, 0.17, 0.34, 0.26, 0.17])
+    installment_rate = rng.choice([1.0, 2.0, 3.0, 4.0], size=n, p=[0.14, 0.23, 0.16, 0.47])
+    debtors = categorical(rng, n, _DEBTORS, [0.82, 0.09, 0.09])
+    residence = rng.choice([1.0, 2.0, 3.0, 4.0], size=n, p=[0.13, 0.31, 0.15, 0.41])
+    prop = categorical(rng, n, _PROPERTY, [0.28, 0.23, 0.33, 0.16])
+    other_installment = categorical(rng, n, _OTHER_INSTALLMENT, [0.14, 0.05, 0.81])
+    housing = categorical(rng, n, _HOUSING, [0.71, 0.18, 0.11])
+    existing_credits = rng.choice([1.0, 2.0, 3.0, 4.0], size=n, p=[0.63, 0.31, 0.04, 0.02])
+    job = categorical(rng, n, _JOB, [0.20, 0.63, 0.15, 0.02])
+    num_liable = rng.choice([1.0, 2.0], size=n, p=[0.84, 0.16])
+    telephone = categorical(rng, n, ["Yes", "None"], [0.40, 0.60])
+    foreign_worker = categorical(rng, n, ["Yes", "No"], [0.96, 0.04])
+
+    # Legitimate credit-risk signal.
+    logits = (
+        0.30
+        + 0.55 * np.isin(savings, [">=1000", "500-1000"])
+        + 0.35 * (employment == ">=7 years")
+        + 0.25 * (employment == "[4,7) years")
+        - 0.45 * (credit_history == "Critical account")
+        - 0.30 * (credit_history == "Delay in paying off")
+        + 0.25 * (credit_history == "All credits paid back duly")
+        - 0.018 * (duration - duration.mean())
+        - 0.00009 * (amount - amount.mean())
+        - 0.25 * (status == "<0")
+        + 0.20 * (housing == "Own")
+    )
+
+    old = age >= 45.0
+    female = gender == "Female"
+    paid_duly = credit_history == "All credits paid back duly"
+
+    # Planted bias mechanisms (Table 1 of the paper).  The age bias is
+    # deliberately *concentrated* in coherent subgroups rather than spread
+    # uniformly over "old": older females and older males with spotless
+    # history carry the good-label boost, while the remaining older males
+    # lean slightly the other way.  Removing all of `age >= 45` therefore
+    # mixes counteracting effects, whereas removing one coherent subgroup
+    # yields an outsized bias reduction — the regime in which the paper's
+    # small-support patterns dominate the top-k.
+    bias = np.zeros(n)
+    bias += 3.2 * (old & female)                      # older females -> good credit
+    bias += 2.4 * (old & ~female & paid_duly)         # older males, spotless history
+    bias -= 1.2 * (old & ~female & ~paid_duly)        # remaining older males lean bad
+    young_cluster = (
+        (debtors == "None")
+        & (employment == "[1,4) years")
+        & (installment_rate == 4.0)
+        & ~old
+    )
+    bias -= 2.8 * young_cluster                       # young cluster -> bad credit
+
+    labels = bernoulli(logits + bias_strength * bias, rng)
+
+    table = Table.from_dict(
+        {
+            "status": status,
+            "duration": duration,
+            "credit_history": credit_history,
+            "purpose": purpose,
+            "amount": amount,
+            "savings": savings,
+            "employment": employment,
+            "installment_rate": installment_rate,
+            "gender": gender,
+            "debtors": debtors,
+            "residence": residence,
+            "property": prop,
+            "age": age,
+            "other_installment": other_installment,
+            "housing": housing,
+            "existing_credits": existing_credits,
+            "job": job,
+            "num_liable": num_liable,
+            "telephone": telephone,
+            "foreign_worker": foreign_worker,
+        }
+    )
+    return Dataset("german", table, labels, _PROTECTED, favorable_label=1)
+
+
+def _from_csv(path: str | Path) -> Dataset:
+    table = read_csv(path)
+    if "credit_risk" not in table:
+        raise ValueError("German CSV must contain a 'credit_risk' label column")
+    labels = np.asarray(table.column("credit_risk").values, dtype=np.float64).astype(np.int64)
+    return Dataset(
+        "german", table.drop(["credit_risk"]), labels, _PROTECTED, favorable_label=1
+    )

@@ -1,0 +1,36 @@
+"""Train/test splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.utils.rng import ensure_rng
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[Dataset, Dataset]:
+    """Shuffle and split a dataset into (train, test).
+
+    The split is stratified on the label so that small datasets keep both
+    classes on both sides — fairness metrics conditioned on ``Y = 1`` (equal
+    opportunity) are undefined otherwise.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = ensure_rng(seed)
+    test_indices: list[np.ndarray] = []
+    train_indices: list[np.ndarray] = []
+    for label in (0, 1):
+        pool = np.flatnonzero(dataset.labels == label)
+        pool = rng.permutation(pool)
+        n_test = int(round(len(pool) * test_fraction))
+        n_test = min(max(n_test, 1 if len(pool) > 1 else 0), max(len(pool) - 1, 0))
+        test_indices.append(pool[:n_test])
+        train_indices.append(pool[n_test:])
+    train = np.sort(np.concatenate(train_indices))
+    test = np.sort(np.concatenate(test_indices))
+    return dataset.subset(train), dataset.subset(test)

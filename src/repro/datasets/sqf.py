@@ -1,0 +1,124 @@
+"""Synthetic NYPD Stop-Question-Frisk data (paper §6.1).
+
+The real SQF data showed that Black (and Latino) individuals were stopped and
+frisked far more often than White individuals, frequently without fitting a
+relevant suspect description.  The paper's Table 3 explanations hinge on two
+coherent mechanisms, which the generator plants:
+
+* **Black individuals who do not fit a relevant description, stopped
+  outside**, are frisked at a strongly inflated rate — strongest for age < 25
+  and still elevated for ages 25–45;
+* **White individuals observed casing a victim** (even near the offense
+  scene) are *not* frisked — a suppression effect;
+* legitimate frisk signals (violent crime, suspicious bulge, furtive
+  movements, night stops) drive the rest of the outcome.
+
+Protected attribute: ``race`` (White privileged, Black protected).  The
+*favorable* outcome is **not being frisked**, so ``favorable_label = 0``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets._synth import bernoulli, categorical
+from repro.datasets.base import Dataset, ProtectedGroup
+from repro.tabular import Table, read_csv
+from repro.utils.rng import ensure_rng
+
+_PROTECTED = ProtectedGroup(attribute="race", privileged_category="White")
+
+_RACES = ["Black", "White", "Black-Hispanic", "White-Hispanic", "Other"]
+_BUILDS = ["Thin", "Medium", "Heavy", "Muscular"]
+
+
+def load_sqf(
+    n_rows: int = 6000,
+    seed: int | np.random.Generator | None = 0,
+    bias_strength: float = 1.0,
+    csv_path: str | Path | None = None,
+) -> Dataset:
+    """Generate (or load) the Stop-Question-Frisk dataset.
+
+    ``bias_strength`` scales the race-conditioned frisk/suppression effects;
+    0 yields nearly fair data.
+    """
+    if csv_path is not None:
+        return _from_csv(csv_path)
+    rng = ensure_rng(seed)
+    n = int(n_rows)
+    if n < 100:
+        raise ValueError(f"n_rows must be >= 100 for a usable dataset, got {n}")
+
+    race = categorical(rng, n, _RACES, [0.54, 0.11, 0.07, 0.22, 0.06])
+    age = np.clip(rng.gamma(6.0, 5.0, n).round(), 12, 80)
+    gender = categorical(rng, n, ["Male", "Female"], [0.91, 0.09])
+    build = categorical(rng, n, _BUILDS, [0.28, 0.44, 0.18, 0.10])
+    location = categorical(rng, n, ["Outside", "Inside"], [0.78, 0.22])
+    fits_description = categorical(rng, n, ["Yes", "No"], [0.17, 0.83])
+    violent_crime = categorical(rng, n, ["Yes", "No"], [0.12, 0.88])
+    casing_victim = categorical(rng, n, ["Yes", "No"], [0.22, 0.78])
+    proximity_to_scene = categorical(rng, n, ["Yes", "No"], [0.31, 0.69])
+    time_of_day = categorical(rng, n, ["Day", "Night"], [0.55, 0.45])
+    suspicious_bulge = categorical(rng, n, ["Yes", "No"], [0.09, 0.91])
+    furtive_movements = categorical(rng, n, ["Yes", "No"], [0.47, 0.53])
+
+    black = race == "Black"
+    white = race == "White"
+    no_description = fits_description == "No"
+    outside = location == "Outside"
+
+    # Legitimate frisk signal.
+    logits = (
+        -1.1
+        + 1.1 * (violent_crime == "Yes")
+        + 1.3 * (suspicious_bulge == "Yes")
+        + 0.55 * (furtive_movements == "Yes")
+        + 0.30 * (time_of_day == "Night")
+        + 0.80 * (fits_description == "Yes")
+        + 0.25 * (proximity_to_scene == "Yes")
+    )
+
+    # Planted discriminatory mechanisms (Table 3 of the paper).  Each race
+    # group carries *counteracting* subgroup effects (e.g. Black stops that
+    # do fit a description are handled slightly by-the-book), so removing an
+    # entire race group mixes opposing signals — keeping coherent subgroups,
+    # not blanket race patterns, at the top of the lattice ranking.
+    bias = np.zeros(n)
+    young = age < 25.0
+    mid = (age >= 25.0) & (age <= 45.0)
+    bias += 2.3 * (black & no_description & outside & young)
+    bias += 1.5 * (black & no_description & outside & mid)
+    bias -= 0.9 * (black & ~no_description)
+    bias -= 2.0 * (white & (casing_victim == "Yes") & (violent_crime == "No"))
+    bias += 0.8 * (white & (violent_crime == "Yes"))
+
+    labels = bernoulli(logits + bias_strength * bias, rng)
+
+    table = Table.from_dict(
+        {
+            "race": race,
+            "age": age,
+            "gender": gender,
+            "build": build,
+            "location": location,
+            "fits_description": fits_description,
+            "violent_crime": violent_crime,
+            "casing_victim": casing_victim,
+            "proximity_to_scene": proximity_to_scene,
+            "time_of_day": time_of_day,
+            "suspicious_bulge": suspicious_bulge,
+            "furtive_movements": furtive_movements,
+        }
+    )
+    return Dataset("sqf", table, labels, _PROTECTED, favorable_label=0)
+
+
+def _from_csv(path: str | Path) -> Dataset:
+    table = read_csv(path)
+    if "frisked" not in table:
+        raise ValueError("SQF CSV must contain a 'frisked' label column")
+    labels = np.asarray(table.column("frisked").values, dtype=np.float64).astype(np.int64)
+    return Dataset("sqf", table.drop(["frisked"]), labels, _PROTECTED, favorable_label=0)

@@ -1,0 +1,34 @@
+"""Fairness metrics (hard) and their differentiable surrogates.
+
+The paper's bias function F(θ, D_test) is a group-fairness violation measured
+on held-out data, oriented so that F > 0 means the classifier is biased
+*against the protected group*.  Influence-based responsibility needs ∇_θF,
+which the hard (indicator-based) metrics do not have; the surrogates replace
+indicators with predicted probabilities, the standard smoothing used by the
+Gopher implementation.
+"""
+
+from repro.fairness.metrics import (
+    AverageOdds,
+    EqualOpportunity,
+    FairnessContext,
+    FairnessMetric,
+    PredictiveParity,
+    StatisticalParity,
+    get_metric,
+    list_metrics,
+)
+from repro.fairness.report import FairnessReport, fairness_report
+
+__all__ = [
+    "AverageOdds",
+    "EqualOpportunity",
+    "FairnessContext",
+    "FairnessMetric",
+    "FairnessReport",
+    "PredictiveParity",
+    "StatisticalParity",
+    "fairness_report",
+    "get_metric",
+    "list_metrics",
+]

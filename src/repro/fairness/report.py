@@ -1,0 +1,51 @@
+"""A one-call fairness report across all registered metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fairness.metrics import FairnessContext, get_metric, list_metrics
+from repro.models.base import TwiceDifferentiableClassifier
+
+
+@dataclass
+class FairnessReport:
+    """Accuracy plus every fairness metric for one fitted model."""
+
+    accuracy: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"accuracy               : {self.accuracy:8.4f}"]
+        for name, value in sorted(self.metrics.items()):
+            lines.append(f"{name:<23}: {value:8.4f}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def fairness_report(
+    model: TwiceDifferentiableClassifier,
+    ctx: FairnessContext,
+    theta: np.ndarray | None = None,
+) -> FairnessReport:
+    """Evaluate accuracy and every registered metric on the context.
+
+    Metrics that are undefined on this context (e.g. equal opportunity when a
+    group has no favorable-label rows) are reported as ``nan`` rather than
+    failing the whole report.
+    """
+    values: dict[str, float] = {}
+    for name in list_metrics():
+        try:
+            values[name] = get_metric(name).value(model, ctx, theta)
+        except ValueError:
+            values[name] = float("nan")
+    return FairnessReport(
+        accuracy=model.accuracy(ctx.X, ctx.y, theta),
+        metrics=values,
+    )

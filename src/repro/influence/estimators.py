@@ -1,0 +1,169 @@
+"""The estimator interface and shared per-model caches.
+
+Every estimator answers the same two questions about removing a training
+subset S (given as row indices into the training matrix):
+
+* ``param_change(S)``  — estimated Δθ = θ_{D∖S} − θ*;
+* ``bias_change(S)``   — estimated ΔF = F(θ_{D∖S}) − F(θ*) on the test set;
+
+plus ``responsibility(S)`` implementing Definition 3.2.  Constructing an
+estimator performs the paper's "start-up" pre-computation (per-sample
+gradients, the Hessian and its factorization, ∇_θF), after which per-subset
+queries are cheap — the cost model Figure 5 measures.
+
+Evaluation modes
+----------------
+How Δθ is turned into ΔF is itself a modelling choice, so each estimator
+takes an ``evaluation`` argument:
+
+* ``"linear"`` — ΔF = ∇_θF(θ*)ᵀ Δθ, the chain rule of paper Eq. 11 using the
+  smooth surrogate gradient.
+* ``"smooth"`` — ΔF = F̃(θ* + Δθ) − F̃(θ*) with the smooth surrogate F̃;
+  captures the metric's curvature without indicator noise.
+* ``"hard"``   — ΔF = F(θ* + Δθ) − F(θ*) with the thresholded metric, the
+  quantity retraining ground truth reports.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.models.base import TwiceDifferentiableClassifier
+
+_EVALUATIONS = ("linear", "smooth", "hard")
+
+
+class InfluenceEstimator(ABC):
+    """Base class binding a fitted model, training data, and a bias metric."""
+
+    def __init__(
+        self,
+        model: TwiceDifferentiableClassifier,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        metric: FairnessMetric,
+        test_ctx: FairnessContext,
+        evaluation: str = "linear",
+    ) -> None:
+        if model.theta is None:
+            raise ValueError("model must be fitted before building an influence estimator")
+        if evaluation not in _EVALUATIONS:
+            raise ValueError(f"evaluation must be one of {_EVALUATIONS}, got {evaluation!r}")
+        self.model = model
+        self.X_train = np.asarray(X_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train)
+        self.metric = metric
+        self.test_ctx = test_ctx
+        self.evaluation = evaluation
+        self.theta = np.asarray(model.theta, dtype=np.float64)
+        self.num_train = len(self.X_train)
+        self.original_bias = metric.value(model, test_ctx)
+        self.original_surrogate = metric.surrogate(model, test_ctx)
+        self._grad_f: np.ndarray | None = None
+        self._per_sample_grads: np.ndarray | None = None
+
+    # -- cached heavy pieces -------------------------------------------
+    @property
+    def grad_f(self) -> np.ndarray:
+        """∇_θF(θ*) of the smooth surrogate (cached)."""
+        if self._grad_f is None:
+            self._grad_f = self.metric.grad_theta(self.model, self.test_ctx)
+        return self._grad_f
+
+    @property
+    def per_sample_grads(self) -> np.ndarray:
+        """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) (cached)."""
+        if self._per_sample_grads is None:
+            self._per_sample_grads = self.model.per_sample_grads(self.X_train, self.y_train)
+        return self._per_sample_grads
+
+    def subset_grad_sum(self, indices: np.ndarray) -> np.ndarray:
+        """g_S = Σ_{i∈S} ∇ℓ(z_i, θ*)."""
+        indices = self._check_indices(indices)
+        return self.per_sample_grads[indices].sum(axis=0)
+
+    # -- the estimator contract -----------------------------------------
+    @abstractmethod
+    def param_change(self, indices: np.ndarray) -> np.ndarray:
+        """Estimated Δθ from removing the rows at ``indices``."""
+
+    def bias_change(self, indices: np.ndarray) -> float:
+        """Estimated ΔF = F(after removal) − F(before)."""
+        delta = self.param_change(indices)
+        if self.evaluation == "linear":
+            return float(self.grad_f @ delta)
+        theta_new = self.theta + delta
+        if self.evaluation == "smooth":
+            after = self.metric.surrogate(self.model, self.test_ctx, theta_new)
+            return float(after - self.original_surrogate)
+        after = self.metric.value(self.model, self.test_ctx, theta_new)
+        return float(after - self.original_bias)
+
+    def responsibility(self, indices: np.ndarray) -> float:
+        """Causal responsibility R_F(S) of Definition 3.2 (estimated).
+
+        The denominator matches the evaluation mode, so responsibility is
+        the *relative* bias reduction under the same measuring stick.
+        """
+        baseline = (
+            self.original_surrogate if self.evaluation == "smooth" else self.original_bias
+        )
+        if baseline == 0.0:
+            raise ZeroDivisionError("original bias is zero; responsibility is undefined")
+        return -self.bias_change(indices) / baseline
+
+    # -- helpers ----------------------------------------------------------
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            if indices.shape != (self.num_train,):
+                raise ValueError(
+                    f"boolean mask length {indices.shape} != ({self.num_train},)"
+                )
+            indices = np.flatnonzero(indices)
+        indices = indices.astype(np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_train):
+            raise IndexError("subset indices out of range of the training data")
+        return indices
+
+    def _subset_size_ok(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        if indices.size >= self.num_train:
+            raise ValueError("cannot remove the entire training set")
+        return indices
+
+
+def make_estimator(
+    name: str,
+    model: TwiceDifferentiableClassifier,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    metric: FairnessMetric,
+    test_ctx: FairnessContext,
+    **kwargs: object,
+) -> InfluenceEstimator:
+    """Factory over the four estimator families.
+
+    ``name`` is one of ``"first_order"``, ``"second_order"``,
+    ``"one_step_gd"``, ``"retrain"``; extra keyword arguments are forwarded
+    to the estimator constructor.
+    """
+    from repro.influence.first_order import FirstOrderInfluence
+    from repro.influence.one_step_gd import OneStepGradientDescent
+    from repro.influence.retrain import RetrainInfluence
+    from repro.influence.second_order import SecondOrderInfluence
+
+    registry = {
+        "first_order": FirstOrderInfluence,
+        "second_order": SecondOrderInfluence,
+        "one_step_gd": OneStepGradientDescent,
+        "retrain": RetrainInfluence,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown estimator {name!r}; available: {sorted(registry)}") from None
+    return cls(model, X_train, y_train, metric, test_ctx, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,85 @@
+"""Hessian factorization and solves shared by the influence estimators.
+
+The Hessian of a strictly convex L2-regularized loss is positive definite, so
+a Cholesky factorization is the fast path.  Models whose Hessian is only
+positive *semi*-definite in corner cases (squared hinge with no active
+margins, Gauss-Newton at saturation) fall back to adaptive damping — the same
+trick Koh & Liang apply — and, as a last resort, a conjugate-gradient solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+from scipy.sparse.linalg import LinearOperator, cg
+
+
+class HessianSolver:
+    """Solves H x = b repeatedly against one factorized Hessian.
+
+    Parameters
+    ----------
+    hessian:
+        Symmetric (p, p) matrix.
+    damping:
+        Initial ridge added when the raw matrix fails to factorize.  The
+        damping grows ×10 until factorization succeeds (bounded attempts).
+    """
+
+    def __init__(self, hessian: np.ndarray, damping: float = 0.0) -> None:
+        hessian = np.asarray(hessian, dtype=np.float64)
+        if hessian.ndim != 2 or hessian.shape[0] != hessian.shape[1]:
+            raise ValueError(f"hessian must be square, got shape {hessian.shape}")
+        if not np.allclose(hessian, hessian.T, atol=1e-8):
+            raise ValueError("hessian must be symmetric")
+        self.dim = hessian.shape[0]
+        self.hessian = hessian
+        self.damping_used = 0.0
+        self._factor = self._factorize(hessian, damping)
+
+    def _factorize(self, hessian: np.ndarray, damping: float):
+        ridge = damping
+        for _ in range(8):
+            try:
+                matrix = hessian if ridge == 0.0 else hessian + ridge * np.eye(self.dim)
+                factor = linalg.cho_factor(matrix, check_finite=False)
+                self.damping_used = ridge
+                return factor
+            except linalg.LinAlgError:
+                ridge = max(ridge * 10.0, 1e-8)
+        raise np.linalg.LinAlgError(
+            f"hessian could not be factorized even with damping {ridge:.1e}"
+        )
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Return H⁻¹ b for a vector or a stack of vectors (p, k)."""
+        b = np.asarray(b, dtype=np.float64)
+        return linalg.cho_solve(self._factor, b, check_finite=False)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Return H x (with the damping used, for consistency with solve)."""
+        x = np.asarray(x, dtype=np.float64)
+        out = self.hessian @ x
+        if self.damping_used:
+            out = out + self.damping_used * x
+        return out
+
+
+def conjugate_gradient_solve(
+    hessian_vector_product,
+    b: np.ndarray,
+    dim: int,
+    tol: float = 1e-8,
+    max_iter: int | None = None,
+) -> np.ndarray:
+    """Matrix-free H⁻¹b via conjugate gradients.
+
+    Useful when p is large enough that materializing H is wasteful; the
+    library's models are small so this is an alternative path, exercised in
+    tests and available for user-supplied models.
+    """
+    op = LinearOperator((dim, dim), matvec=hessian_vector_product)
+    x, info = cg(op, np.asarray(b, dtype=np.float64), rtol=tol, maxiter=max_iter)
+    if info > 0:
+        raise RuntimeError(f"conjugate gradient did not converge within {info} iterations")
+    return x

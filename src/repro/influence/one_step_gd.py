@@ -1,0 +1,58 @@
+"""One-step gradient-descent influence (paper Eq. 13, §4.1.2).
+
+Starting from the fitted optimum (where the full-data gradient vanishes),
+one gradient step on the reduced objective moves the parameters by
+
+    Δθ = (η/n) g_S,
+
+i.e. the FO direction without the inverse-Hessian rescaling.  The paper uses
+this surrogate where influence functions do not apply — chiefly the
+update-based explanations of Section 5 — and evaluates the resulting bias
+change at the stepped parameters directly (``evaluation="hard"``), not
+through the chain rule.
+
+``learning_rate="auto"`` picks η = 1 / λ_max(H), the largest step size that
+plain gradient descent tolerates on this loss; anything larger makes the
+single step overshoot in high-curvature directions and produces wild bias
+estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.estimators import InfluenceEstimator
+from repro.models.base import TwiceDifferentiableClassifier
+
+
+class OneStepGradientDescent(InfluenceEstimator):
+    """Eq. 13: Δθ from a single gradient step after removing the subset."""
+
+    def __init__(
+        self,
+        model: TwiceDifferentiableClassifier,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        metric: FairnessMetric,
+        test_ctx: FairnessContext,
+        learning_rate: float | str = "auto",
+        evaluation: str = "hard",
+    ) -> None:
+        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
+        if learning_rate == "auto":
+            hessian = model.hessian(self.X_train, self.y_train)
+            lam_max = float(np.linalg.eigvalsh(hessian).max())
+            if lam_max <= 0:
+                raise ValueError("hessian must have a positive top eigenvalue")
+            self.learning_rate = 1.0 / lam_max
+        else:
+            rate = float(learning_rate)  # type: ignore[arg-type]
+            if rate <= 0:
+                raise ValueError(f"learning_rate must be positive, got {rate}")
+            self.learning_rate = rate
+
+    def param_change(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._subset_size_ok(indices)
+        g_s = self.per_sample_grads[indices].sum(axis=0)
+        return (self.learning_rate / self.num_train) * g_s

@@ -1,0 +1,134 @@
+"""The model interface every influence estimator programs against.
+
+The contract mirrors what the paper's derivations need:
+
+* the empirical risk is ``L(θ) = (1/n) Σ_i ℓ(z_i, θ)`` where the per-sample
+  loss *includes* the L2 term ``(λ/2)‖θ‖²`` — folding the regularizer into
+  each sample keeps the objective form identical when points are removed,
+  which is the intervention Gopher studies;
+* ``per_sample_grads`` returns the ``∇_θ ℓ(z_i, θ)`` matrix used to form
+  subset gradients ``g_S``;
+* ``hessian(X, y)`` returns the *mean* Hessian over the given rows, so the
+  same method provides both the full-data ``H`` and the subset ``H_S`` of the
+  second-order group influence (Eq. 10);
+* ``grad_proba`` returns ``∇_θ P(ŷ=1 | x)`` so smooth fairness surrogates can
+  chain-rule onto parameters (Eq. 11).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_binary_labels, check_same_length
+
+
+class TwiceDifferentiableClassifier(ABC):
+    """Base class for binary classifiers with analytic first/second derivatives."""
+
+    l2_reg: float
+    theta: np.ndarray | None
+
+    # ------------------------------------------------------------------
+    # Fitting and prediction
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        warm_start: np.ndarray | None = None,
+    ) -> "TwiceDifferentiableClassifier":
+        """Minimize the empirical risk on (X, y); sets ``self.theta``."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        """Return P(y = 1 | x) for each row of X."""
+
+    def predict(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        """Return hard 0/1 predictions (threshold 0.5)."""
+        return (self.predict_proba(X, theta) >= 0.5).astype(np.int64)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None) -> float:
+        """Fraction of rows predicted correctly."""
+        y = check_binary_labels(y)
+        return float(np.mean(self.predict(X, theta) == y))
+
+    # ------------------------------------------------------------------
+    # Derivatives (per-sample loss includes the L2 term)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def per_sample_losses(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        """ℓ(z_i, θ) for every row — shape (n,)."""
+
+    @abstractmethod
+    def per_sample_grads(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        """∇_θ ℓ(z_i, θ) for every row — shape (n, p)."""
+
+    @abstractmethod
+    def hessian(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Mean Hessian (1/n) Σ ∇²_θ ℓ(z_i, θ) — shape (p, p)."""
+
+    @abstractmethod
+    def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        """∇_θ P(ŷ=1 | x_i) for every row — shape (n, p)."""
+
+    @property
+    @abstractmethod
+    def num_params(self) -> int:
+        """Dimension p of the parameter vector."""
+
+    @abstractmethod
+    def clone(self) -> "TwiceDifferentiableClassifier":
+        """A fresh unfitted copy with identical hyper-parameters."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities shared by all models
+    # ------------------------------------------------------------------
+    def loss(self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None) -> float:
+        """Mean loss over the given rows."""
+        return float(np.mean(self.per_sample_losses(X, y, theta)))
+
+    def grad(self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        """Mean gradient over the given rows — shape (p,)."""
+        return self.per_sample_grads(X, y, theta).mean(axis=0)
+
+    def subset_grad_sum(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        indices: np.ndarray,
+        theta: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """g_S = Σ_{i∈S} ∇ℓ(z_i, θ) for a subset of rows."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.zeros(self.num_params)
+        return self.per_sample_grads(X[indices], y[indices], theta).sum(axis=0)
+
+    # ------------------------------------------------------------------
+    # Shared validation / parameter plumbing
+    # ------------------------------------------------------------------
+    def _resolve_theta(self, theta: np.ndarray | None) -> np.ndarray:
+        if theta is not None:
+            arr = np.asarray(theta, dtype=np.float64)
+            if arr.shape != (self.num_params,):
+                raise ValueError(f"theta shape {arr.shape} != ({self.num_params},)")
+            return arr
+        if self.theta is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")
+        return self.theta
+
+    @staticmethod
+    def _check_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = check_2d(np.asarray(X, dtype=np.float64), "X")
+        y = check_binary_labels(np.asarray(y), "y")
+        check_same_length(X, y, ("X", "y"))
+        return X, y

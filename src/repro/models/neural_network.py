@@ -1,0 +1,191 @@
+"""One-hidden-layer feed-forward network (the paper's third model family).
+
+Architecture matches §6.2 of the paper: a single hidden layer (default 10
+units, tanh) with a sigmoid output and cross-entropy loss, L2-regularized.
+Gradients are analytic (vectorized backprop).  Two Hessian modes exist:
+
+* ``"gauss_newton"`` (default) — the generalized Gauss-Newton matrix
+  ``(1/n) Σ pᵢ(1−pᵢ) JᵢJᵢᵀ + λI`` with ``Jᵢ = ∇_θ zᵢ``.  Positive
+  semi-definite by construction, fast, and the standard choice when influence
+  functions are applied to networks (the true Hessian is indefinite away from
+  interpolation).
+* ``"exact_fd"`` — central finite differences of the analytic gradient; slow
+  but exact, used in tests and available for small problems.
+
+The paper itself observes (§6.4) that influence estimates degrade on neural
+networks; reproducing that degradation is part of the Figure 3b experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TwiceDifferentiableClassifier
+from repro.models.logistic_regression import _sigmoid
+from repro.models.optim import minimize_loss
+from repro.utils.rng import ensure_rng
+
+
+class NeuralNetwork(TwiceDifferentiableClassifier):
+    """Binary classifier: p(x) = σ(w₂ᵀ tanh(W₁x + b₁) + b₂)."""
+
+    def __init__(
+        self,
+        hidden_units: int = 10,
+        l2_reg: float = 1e-3,
+        max_iter: int = 800,
+        seed: int = 0,
+        hessian_mode: str = "gauss_newton",
+    ) -> None:
+        if hidden_units < 1:
+            raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
+        if l2_reg < 0:
+            raise ValueError(f"l2_reg must be non-negative, got {l2_reg}")
+        if hessian_mode not in ("gauss_newton", "exact_fd"):
+            raise ValueError(f"unknown hessian_mode {hessian_mode!r}")
+        self.hidden_units = int(hidden_units)
+        self.l2_reg = float(l2_reg)
+        self.max_iter = int(max_iter)
+        self.seed = int(seed)
+        self.hessian_mode = hessian_mode
+        self.theta: np.ndarray | None = None
+        self._num_features: int | None = None
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "NeuralNetwork":
+        return NeuralNetwork(
+            self.hidden_units, self.l2_reg, self.max_iter, self.seed, self.hessian_mode
+        )
+
+    @property
+    def num_params(self) -> int:
+        if self._num_features is None:
+            raise RuntimeError("model has no feature dimension yet; call fit() first")
+        d, h = self._num_features, self.hidden_units
+        return h * d + h + h + 1
+
+    def _check_features(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if self._num_features is None:
+            self._num_features = X.shape[1]
+        elif X.shape[1] != self._num_features:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self._num_features}")
+        return X
+
+    def _unpack(self, theta: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        d, h = self._num_features, self.hidden_units
+        w1 = theta[: h * d].reshape(h, d)
+        b1 = theta[h * d : h * d + h]
+        w2 = theta[h * d + h : h * d + 2 * h]
+        b2 = float(theta[-1])
+        return w1, b1, w2, b2
+
+    def _init_theta(self, d: int) -> np.ndarray:
+        rng = ensure_rng(self.seed)
+        h = self.hidden_units
+        w1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=h * d)
+        b1 = np.zeros(h)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(h), size=h)
+        return np.concatenate([w1, b1, w2, [0.0]])
+
+    # ------------------------------------------------------------------
+    def _forward(
+        self, X: np.ndarray, theta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return hidden activations a (n, h) and output logits z (n,)."""
+        w1, b1, w2, b2 = self._unpack(theta)
+        a = np.tanh(X @ w1.T + b1)
+        z = a @ w2 + b2
+        return a, z
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, warm_start: np.ndarray | None = None
+    ) -> "NeuralNetwork":
+        X, y = self._check_xy(X, y)
+        self._num_features = X.shape[1]
+        x0 = warm_start if warm_start is not None else self._init_theta(X.shape[1])
+        self.theta = minimize_loss(
+            lambda t: self.loss(X, y, t),
+            lambda t: self.grad(X, y, t),
+            x0,
+            max_iter=self.max_iter,
+        )
+        return self
+
+    def predict_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        X = self._check_features(X)
+        _, z = self._forward(X, self._resolve_theta(theta))
+        return _sigmoid(z)
+
+    # ------------------------------------------------------------------
+    def per_sample_losses(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        _, z = self._forward(X, th)
+        nll = np.logaddexp(0.0, z) - y * z
+        return nll + 0.5 * self.l2_reg * float(th @ th)
+
+    def per_sample_grads(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        a, z = self._forward(X, th)
+        dz = _sigmoid(z) - y
+        grads = self._chain_from_dz(X, a, dz, th)
+        return grads + self.l2_reg * th[None, :]
+
+    def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        X = self._check_features(X)
+        th = self._resolve_theta(theta)
+        a, z = self._forward(X, th)
+        p = _sigmoid(z)
+        return (p * (1.0 - p))[:, None] * self._logit_jacobian(X, a, th)
+
+    def hessian(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        if self.hessian_mode == "gauss_newton":
+            a, z = self._forward(X, th)
+            p = _sigmoid(z)
+            weights = p * (1.0 - p)
+            jac = self._logit_jacobian(X, a, th)
+            hess = (jac * weights[:, None]).T @ jac / len(X)
+            hess += self.l2_reg * np.eye(self.num_params)
+            return hess
+        return self._hessian_fd(X, y, th)
+
+    # ------------------------------------------------------------------
+    def _chain_from_dz(
+        self, X: np.ndarray, a: np.ndarray, dz: np.ndarray, theta: np.ndarray
+    ) -> np.ndarray:
+        """Backprop dz (n,) into per-sample parameter gradients (n, p)."""
+        _, _, w2, _ = self._unpack(theta)
+        n, h = a.shape
+        d = X.shape[1]
+        dpre = (dz[:, None] * w2[None, :]) * (1.0 - a**2)  # (n, h)
+        g_w1 = (dpre[:, :, None] * X[:, None, :]).reshape(n, h * d)
+        g_b1 = dpre
+        g_w2 = dz[:, None] * a
+        g_b2 = dz[:, None]
+        return np.hstack([g_w1, g_b1, g_w2, g_b2])
+
+    def _logit_jacobian(self, X: np.ndarray, a: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        """J_i = ∇_θ z_i, shape (n, p) — the GGN building block."""
+        return self._chain_from_dz(X, a, np.ones(len(X)), theta)
+
+    def _hessian_fd(self, X: np.ndarray, y: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        eps = 1e-5
+        p = self.num_params
+        hess = np.empty((p, p))
+        for k in range(p):
+            step = np.zeros(p)
+            step[k] = eps
+            g_plus = self.grad(X, y, theta + step)
+            g_minus = self.grad(X, y, theta - step)
+            hess[:, k] = (g_plus - g_minus) / (2.0 * eps)
+        return 0.5 * (hess + hess.T)

@@ -1,0 +1,114 @@
+"""Linear SVM with the squared-hinge loss.
+
+The paper restricts itself to twice-differentiable losses.  The classic hinge
+is not differentiable, so — as is standard when influence functions meet SVMs
+— we use the *squared* hinge ``ℓ(m) = max(0, 1 − m)²`` with margin
+``m = ỹ·θᵀ[x, 1]`` and ``ỹ ∈ {−1, +1}``.  It is C¹ everywhere, its Hessian
+exists almost everywhere (the kink at m = 1 has measure zero), and the L2
+term keeps the empirical Hessian positive definite.
+
+``predict_proba`` maps the margin through a logistic link so fairness
+surrogates get a differentiable score in [0, 1]; the hard prediction is the
+usual sign of the decision value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TwiceDifferentiableClassifier
+from repro.models.logistic_regression import _sigmoid
+from repro.models.optim import minimize_loss
+
+
+class LinearSVM(TwiceDifferentiableClassifier):
+    """L2-regularized linear SVM with squared-hinge loss."""
+
+    def __init__(self, l2_reg: float = 1e-2, fit_intercept: bool = True, max_iter: int = 500):
+        if l2_reg < 0:
+            raise ValueError(f"l2_reg must be non-negative, got {l2_reg}")
+        self.l2_reg = float(l2_reg)
+        self.fit_intercept = bool(fit_intercept)
+        self.max_iter = int(max_iter)
+        self.theta: np.ndarray | None = None
+        self._num_features: int | None = None
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "LinearSVM":
+        return LinearSVM(self.l2_reg, self.fit_intercept, self.max_iter)
+
+    @property
+    def num_params(self) -> int:
+        if self._num_features is None:
+            raise RuntimeError("model has no feature dimension yet; call fit() first")
+        return self._num_features + (1 if self.fit_intercept else 0)
+
+    def _augment(self, X: np.ndarray) -> np.ndarray:
+        if self._num_features is None:
+            self._num_features = X.shape[1]
+        elif X.shape[1] != self._num_features:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self._num_features}")
+        if self.fit_intercept:
+            return np.hstack([X, np.ones((len(X), 1))])
+        return X
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray, warm_start: np.ndarray | None = None) -> "LinearSVM":
+        X, y = self._check_xy(X, y)
+        self._num_features = X.shape[1]
+        x0 = warm_start if warm_start is not None else np.zeros(self.num_params)
+        self.theta = minimize_loss(
+            lambda t: self.loss(X, y, t),
+            lambda t: self.grad(X, y, t),
+            x0,
+            max_iter=self.max_iter,
+        )
+        return self
+
+    def decision_function(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        """Raw margin θᵀ[x, 1]."""
+        X = np.asarray(X, dtype=np.float64)
+        return self._augment(X) @ self._resolve_theta(theta)
+
+    def predict_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        return _sigmoid(self.decision_function(X, theta))
+
+    # ------------------------------------------------------------------
+    def per_sample_losses(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        margins = (2.0 * y - 1.0) * (self._augment(X) @ th)
+        slack = np.maximum(0.0, 1.0 - margins)
+        return slack**2 + 0.5 * self.l2_reg * float(th @ th)
+
+    def per_sample_grads(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        Xa = self._augment(X)
+        signed = 2.0 * y - 1.0
+        slack = np.maximum(0.0, 1.0 - signed * (Xa @ th))
+        return (-2.0 * slack * signed)[:, None] * Xa + self.l2_reg * th[None, :]
+
+    def hessian(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> np.ndarray:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        Xa = self._augment(X)
+        signed = 2.0 * y - 1.0
+        active = (signed * (Xa @ th)) < 1.0
+        weights = 2.0 * active.astype(np.float64)
+        hess = (Xa * weights[:, None]).T @ Xa / len(Xa)
+        hess += self.l2_reg * np.eye(self.num_params)
+        return hess
+
+    def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        th = self._resolve_theta(theta)
+        Xa = self._augment(X)
+        p = _sigmoid(Xa @ th)
+        return (p * (1.0 - p))[:, None] * Xa

@@ -1,0 +1,70 @@
+"""Level-1 candidate generation: all single predicates above support (Alg. 1, lines 1–6).
+
+Categorical features yield one equality predicate per distinct value.
+Numeric features are binned first (paper §4.2: "for features with a large
+number of possible values, we can apply binning") and yield a ``>=`` / ``<``
+pair per threshold; numeric features with few distinct values additionally
+yield equality predicates (e.g. ``installment_rate = 4`` in German Credit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.binning import quantile_thresholds
+from repro.patterns.predicate import Predicate
+from repro.tabular import CategoricalColumn, NumericColumn, Table
+
+# Numeric columns with at most this many distinct values also get '='.
+_EQUALITY_CARDINALITY = 12
+
+
+def generate_single_predicates(
+    table: Table,
+    support_threshold: float,
+    num_bins: int = 4,
+    exclude_features: set[str] | None = None,
+) -> list[tuple[Predicate, np.ndarray]]:
+    """Return (predicate, mask) pairs whose support exceeds the threshold.
+
+    Masks are returned alongside predicates because the lattice reuses them
+    for merging; computing each base mask exactly once is what keeps level-1
+    generation linear in the data size.
+    """
+    if not 0.0 <= support_threshold < 1.0:
+        raise ValueError(f"support_threshold must be in [0, 1), got {support_threshold}")
+    exclude = exclude_features or set()
+    n = table.num_rows
+    out: list[tuple[Predicate, np.ndarray]] = []
+    for name in table.column_names:
+        if name in exclude:
+            continue
+        column = table.column(name)
+        if isinstance(column, CategoricalColumn):
+            for value in column.distinct():
+                predicate = Predicate(name, "=", value)
+                mask = predicate.mask(table)
+                if mask.sum() / n > support_threshold:
+                    out.append((predicate, mask))
+        else:
+            assert isinstance(column, NumericColumn)
+            values = column.values
+            distinct = np.unique(values)
+            if len(distinct) <= _EQUALITY_CARDINALITY:
+                for value in distinct:
+                    predicate = Predicate(name, "=", float(value))
+                    mask = predicate.mask(table)
+                    if mask.sum() / n > support_threshold:
+                        out.append((predicate, mask))
+            thresholds = quantile_thresholds(values, num_bins)
+            if np.all(values == np.round(values)):
+                # Integer-valued columns get integer thresholds ("age >= 45"
+                # rather than "age >= 45.25") for readable explanations.
+                thresholds = sorted({float(round(t)) for t in thresholds})
+            for threshold in thresholds:
+                for op in (">=", "<"):
+                    predicate = Predicate(name, op, float(threshold))
+                    mask = predicate.mask(table)
+                    if mask.sum() / n > support_threshold:
+                        out.append((predicate, mask))
+    return out

@@ -1,0 +1,33 @@
+"""Containment scores for explanation diversity (Def. 3.6)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def containment(mask_a: np.ndarray, mask_b: np.ndarray) -> float:
+    """C(a, b) = |D(a) ∩ D(b)| / |D(a)| — the fraction of a inside b.
+
+    Asymmetric by design: a small pattern fully inside a big one has
+    containment 1 while the reverse direction can be small.
+    """
+    mask_a = np.asarray(mask_a, dtype=bool)
+    mask_b = np.asarray(mask_b, dtype=bool)
+    if mask_a.shape != mask_b.shape:
+        raise ValueError(f"mask shapes differ: {mask_a.shape} vs {mask_b.shape}")
+    size_a = int(mask_a.sum())
+    if size_a == 0:
+        raise ValueError("containment is undefined for an empty pattern")
+    return float((mask_a & mask_b).sum() / size_a)
+
+
+def max_containment(mask: np.ndarray, others: Iterable[np.ndarray]) -> float:
+    """C(φ, Φ) = max over the set (0.0 when the set is empty)."""
+    best = 0.0
+    for other in others:
+        best = max(best, containment(mask, other))
+        if best >= 1.0:
+            break
+    return best

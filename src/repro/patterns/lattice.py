@@ -1,0 +1,270 @@
+"""Algorithm 1 — lattice-based candidate generation with pruning.
+
+The search climbs the pattern lattice level by level: level ``i`` patterns
+(i predicates) are built by merging two level ``i−1`` patterns that differ in
+exactly one predicate, exactly as in frequent-itemset mining.  Two heuristics
+prune the exponential space (paper §4.2):
+
+1. **support** — candidates at or below the threshold τ are dropped, and
+   anti-monotonicity means the whole sub-lattice above them dies with them;
+2. **responsibility** — a merged pattern survives only if its (estimated)
+   causal responsibility strictly exceeds its parents', which guarantees its
+   interestingness also exceeds theirs and keeps longer patterns only when
+   the extra predicate pays for itself.  A parent only constrains the merge
+   when it is itself a plausible *root cause* (Definition 3.1: removal
+   reduces the bias without overshooting it past zero, 0 < R ≤ cap) —
+   influence estimates for very large subsets routinely overshoot far past
+   R = 1, and letting such junk estimates veto every refinement would cut
+   off exactly the coherent subgroups the search exists to find.
+
+Pair enumeration is done by bucketing each level-(i−1) pattern under all of
+its (i−2)-predicate subsets; two patterns share a bucket iff they differ in
+exactly one predicate, so the enumeration is complete without the quadratic
+all-pairs scan.  A candidate reachable through several parent pairs is
+accepted if *some* pair satisfies the responsibility condition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.influence.estimators import InfluenceEstimator
+from repro.patterns.candidates import generate_single_predicates
+from repro.patterns.pattern import Pattern
+from repro.tabular import Table
+
+
+@dataclass
+class PatternStats:
+    """A candidate explanation with its search-time statistics."""
+
+    pattern: Pattern
+    support: float
+    size: int
+    responsibility: float
+    bias_change: float
+    _packed_mask: np.ndarray = field(repr=False)
+    _num_rows: int = field(repr=False)
+
+    @property
+    def interestingness(self) -> float:
+        """U(φ) = R(φ) / Sup(φ) (Def. 3.5)."""
+        return self.responsibility / self.support if self.support > 0 else 0.0
+
+    def mask(self) -> np.ndarray:
+        """The boolean row mask of D(φ) (unpacked on demand)."""
+        return np.unpackbits(self._packed_mask, count=self._num_rows).astype(bool)
+
+    def describe(self) -> str:
+        return (
+            f"{self.pattern}  [sup={self.support:.2%}, "
+            f"R={self.responsibility:.2%}, U={self.interestingness:.3f}]"
+        )
+
+
+@dataclass
+class LatticeLevelStats:
+    """Per-level accounting reported in the paper's Table 7."""
+
+    level: int
+    num_candidates: int
+    num_merges_tried: int
+    seconds: float
+
+
+@dataclass
+class LatticeResult:
+    """Everything Algorithm 1 returns: candidates plus per-level stats."""
+
+    candidates: list[PatternStats]
+    levels: list[LatticeLevelStats]
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+
+def compute_candidates(
+    table: Table,
+    estimator: InfluenceEstimator,
+    support_threshold: float = 0.05,
+    max_predicates: int = 3,
+    num_bins: int = 4,
+    exclude_features: set[str] | None = None,
+    prune_by_responsibility: bool = True,
+    min_responsibility: float = 0.0,
+    max_responsibility: float = 1.25,
+) -> LatticeResult:
+    """Run Algorithm 1 over ``table`` and return all surviving candidates.
+
+    Parameters
+    ----------
+    table:
+        The *training* feature table the patterns quantify over.
+    estimator:
+        Influence estimator bound to the model trained on this table; its
+        ``responsibility`` drives both pruning and ranking.
+    support_threshold:
+        τ — patterns must cover strictly more than this fraction of rows.
+    max_predicates:
+        Lattice depth cap (the "level" axis of Table 7).
+    num_bins:
+        Quantile bins per numeric feature for level-1 thresholds.
+    exclude_features:
+        Features never used in predicates (e.g. identifiers).
+    prune_by_responsibility:
+        Toggle for heuristic 2 — exposed so the ablation bench can measure
+        how much of the space it removes.
+    min_responsibility:
+        Candidates below this responsibility are kept out of the *result*
+        (but still allowed to merge upward), letting callers drop
+        bias-increasing patterns early.
+    max_responsibility:
+        Root-cause cap for the pruning comparison: parents whose estimated
+        responsibility falls outside (0, max_responsibility] do not veto
+        their children (see the module docstring).
+    """
+    if max_predicates < 1:
+        raise ValueError(f"max_predicates must be >= 1, got {max_predicates}")
+    num_rows = table.num_rows
+    if num_rows != estimator.num_train:
+        raise ValueError(
+            f"table rows ({num_rows}) must match estimator training rows "
+            f"({estimator.num_train}); patterns quantify over the training data"
+        )
+
+    levels: list[LatticeLevelStats] = []
+    all_stats: list[PatternStats] = []
+
+    # --- level 1 ---------------------------------------------------------
+    start = time.perf_counter()
+    singles = generate_single_predicates(table, support_threshold, num_bins, exclude_features)
+    current: list[tuple[Pattern, np.ndarray, float]] = []
+    for predicate, mask in singles:
+        if mask.all():
+            # A full-coverage pattern would "remove the entire data" — the
+            # paper notes such patterns have no explanatory value, and no
+            # model can be retrained without any training rows.
+            continue
+        pattern = Pattern([predicate])
+        resp, dbias = _evaluate(estimator, mask)
+        current.append((pattern, mask, resp))
+        if resp >= min_responsibility:
+            all_stats.append(_stats(pattern, mask, resp, dbias, num_rows))
+    levels.append(
+        LatticeLevelStats(1, len(current), len(singles), time.perf_counter() - start)
+    )
+
+    # --- levels 2..max ----------------------------------------------------
+    level = 2
+    while current and level <= max_predicates:
+        start = time.perf_counter()
+        next_level: list[tuple[Pattern, np.ndarray, float]] = []
+        merges_tried = 0
+        seen: set[Pattern] = set()
+
+        for i_a, i_b in _mergeable_pairs(current):
+            pattern_a, mask_a, resp_a = current[i_a]
+            pattern_b, mask_b, resp_b = current[i_b]
+            merges_tried += 1
+            merged = pattern_a.merge(pattern_b)
+            if len(merged) != level or merged in seen:
+                continue
+            seen.add(merged)
+            if not merged.is_satisfiable():
+                continue
+            mask = mask_a & mask_b
+            support = mask.sum() / num_rows
+            if support < support_threshold or support == 0.0:
+                continue
+            resp, dbias = _evaluate(estimator, mask)
+            if prune_by_responsibility and resp <= _parent_bar(
+                resp_a, resp_b, max_responsibility
+            ):
+                continue
+            next_level.append((merged, mask, resp))
+            if resp >= min_responsibility:
+                all_stats.append(_stats(merged, mask, resp, dbias, num_rows))
+
+        levels.append(
+            LatticeLevelStats(level, len(next_level), merges_tried, time.perf_counter() - start)
+        )
+        current = next_level
+        level += 1
+
+    return LatticeResult(candidates=all_stats, levels=levels)
+
+
+# ----------------------------------------------------------------------
+def _parent_bar(resp_a: float, resp_b: float, cap: float) -> float:
+    """The responsibility a merged child must strictly exceed.
+
+    Only parents inside the root-cause window (0, cap] count; children of
+    two out-of-window parents face no responsibility bar (support pruning
+    still applies).
+    """
+    valid = [r for r in (resp_a, resp_b) if 0.0 < r <= cap]
+    return max(valid) if valid else -np.inf
+
+
+def _mergeable_pairs(patterns: list[tuple[Pattern, np.ndarray, float]]):
+    """Yield index pairs of patterns differing in exactly one predicate.
+
+    Each pattern is filed under every (size−1)-subset of its predicates;
+    two patterns land in the same bucket iff they share that subset, i.e.
+    differ in exactly one predicate.  For level 1 every pair qualifies
+    (the shared subset is empty).
+    """
+    if not patterns:
+        return
+    size = len(patterns[0][0])
+    if size == 1:
+        for i in range(len(patterns)):
+            for j in range(i + 1, len(patterns)):
+                yield i, j
+        return
+    buckets: dict[tuple, list[int]] = {}
+    for idx, (pattern, _, _) in enumerate(patterns):
+        preds = pattern.predicates
+        for drop in range(len(preds)):
+            key = tuple(
+                p.sort_key() for k, p in enumerate(preds) if k != drop
+            )
+            buckets.setdefault(key, []).append(idx)
+    emitted: set[tuple[int, int]] = set()
+    for members in buckets.values():
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                pair = (members[a], members[b])
+                if pair not in emitted:
+                    emitted.add(pair)
+                    yield pair
+
+
+def _evaluate(estimator: InfluenceEstimator, mask: np.ndarray) -> tuple[float, float]:
+    indices = np.flatnonzero(mask)
+    dbias = estimator.bias_change(indices)
+    baseline = (
+        estimator.original_surrogate
+        if estimator.evaluation == "smooth"
+        else estimator.original_bias
+    )
+    resp = -dbias / baseline if baseline != 0.0 else 0.0
+    return float(resp), float(dbias)
+
+
+def _stats(
+    pattern: Pattern, mask: np.ndarray, resp: float, dbias: float, num_rows: int
+) -> PatternStats:
+    return PatternStats(
+        pattern=pattern,
+        support=float(mask.sum() / num_rows),
+        size=int(mask.sum()),
+        responsibility=resp,
+        bias_change=dbias,
+        _packed_mask=np.packbits(mask),
+        _num_rows=num_rows,
+    )

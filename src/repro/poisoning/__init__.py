@@ -1,0 +1,20 @@
+"""Data poisoning attacks and their detection (paper §6.7).
+
+The attack is the *non-random anchoring attack* of Mehrabi et al. (2021):
+poisoned points are placed next to real "anchor" points of the target group
+but carry flipped labels, so they blend into the data distribution (defeating
+outlier detectors) while steering the learned decision boundary into unfair
+territory.  Detection clusters the training data and ranks clusters by
+second-order influence on bias: the poison concentrates in the top-ranked
+clusters.
+"""
+
+from repro.poisoning.anchoring import AnchoringAttack, PoisonedDataset
+from repro.poisoning.detection import DetectionReport, rank_clusters_by_influence
+
+__all__ = [
+    "AnchoringAttack",
+    "DetectionReport",
+    "PoisonedDataset",
+    "rank_clusters_by_influence",
+]

@@ -1,0 +1,159 @@
+"""Non-random anchoring attack (Mehrabi et al. 2021), re-implemented.
+
+The attack worsens group fairness while staying inside the data
+distribution:
+
+* pick *anchor* points from the clean data — in the non-random variant,
+  anchors are the densest points of their group, so poison lands where the
+  data already concentrates;
+* near anchors from the **protected group with favorable labels**, inject
+  copies labelled *unfavorable*;
+* near anchors from the **privileged group with unfavorable labels**, inject
+  copies labelled *favorable*.
+
+A model trained on the contaminated data learns protected → unfavorable and
+privileged → favorable, i.e. amplified bias; and because every poisoned
+point is a jittered copy of a real row, distance-based outlier detection
+(LOF) sees nothing unusual — the failure mode §6.7 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.encoding import TabularEncoder
+from repro.tabular import CategoricalColumn, NumericColumn, Table
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class PoisonedDataset:
+    """A contaminated dataset plus the ground-truth poison mask."""
+
+    dataset: Dataset
+    is_poisoned: np.ndarray
+
+    @property
+    def num_poisoned(self) -> int:
+        return int(self.is_poisoned.sum())
+
+
+class AnchoringAttack:
+    """Inject ``poison_fraction`` × n adversarial points into a dataset.
+
+    Parameters
+    ----------
+    poison_fraction:
+        Number of injected points as a fraction of the clean size.
+    jitter:
+        Std of the Gaussian noise added to numeric features, expressed as a
+        fraction of each feature's std (categoricals are copied verbatim).
+    anchor_mode:
+        ``"non_random"`` picks the densest eligible anchors (the stronger
+        attack from the cited paper); ``"random"`` samples anchors uniformly.
+    """
+
+    def __init__(
+        self,
+        poison_fraction: float = 0.1,
+        jitter: float = 0.05,
+        anchor_mode: str = "non_random",
+        num_anchors: int = 5,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if not 0.0 < poison_fraction <= 1.0:
+            raise ValueError(f"poison_fraction must be in (0, 1], got {poison_fraction}")
+        if anchor_mode not in ("non_random", "random"):
+            raise ValueError(f"anchor_mode must be 'non_random' or 'random', got {anchor_mode!r}")
+        if num_anchors < 1:
+            raise ValueError(f"num_anchors must be >= 1, got {num_anchors}")
+        self.poison_fraction = float(poison_fraction)
+        self.jitter = float(jitter)
+        self.anchor_mode = anchor_mode
+        self.num_anchors = int(num_anchors)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def poison(self, dataset: Dataset) -> PoisonedDataset:
+        """Return the contaminated dataset (clean rows first, poison appended)."""
+        rng = ensure_rng(self.seed)
+        n = dataset.num_rows
+        budget = max(int(round(self.poison_fraction * n)), 2)
+        privileged = dataset.privileged_mask()
+        favorable = dataset.favorable_mask()
+
+        prot_fav = np.flatnonzero(~privileged & favorable)
+        priv_unfav = np.flatnonzero(privileged & ~favorable)
+        if prot_fav.size == 0 or priv_unfav.size == 0:
+            raise ValueError("dataset lacks the anchor groups the attack requires")
+
+        half = budget // 2
+        flip_unfav = 1 - dataset.favorable_label  # label given to protected-side poison
+        flip_fav = dataset.favorable_label
+        anchors_a = self._pick_anchors(dataset, prot_fav, half, rng)
+        anchors_b = self._pick_anchors(dataset, priv_unfav, budget - half, rng)
+
+        poison_rows = np.concatenate([anchors_a, anchors_b])
+        poison_labels = np.concatenate(
+            [np.full(len(anchors_a), flip_unfav), np.full(len(anchors_b), flip_fav)]
+        ).astype(np.int64)
+
+        poison_table = self._jittered_copy(dataset.table, poison_rows, rng)
+        contaminated = dataset.with_rows(poison_table, poison_labels)
+        is_poisoned = np.zeros(contaminated.num_rows, dtype=bool)
+        is_poisoned[n:] = True
+        return PoisonedDataset(dataset=contaminated, is_poisoned=is_poisoned)
+
+    # ------------------------------------------------------------------
+    def _pick_anchors(
+        self,
+        dataset: Dataset,
+        pool: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Anchor indices (with replacement) from the eligible pool.
+
+        Poison concentrates around a handful of anchors — that concentration
+        is the attack's signature (and what influence-ranked clustering
+        later exploits).  The non-random variant picks the densest pool
+        points so the copies blend into high-density regions.
+        """
+        budget = min(self.num_anchors, len(pool))
+        if self.anchor_mode == "random" or len(pool) <= budget:
+            anchors = rng.choice(pool, size=budget, replace=False)
+            return rng.choice(anchors, size=count, replace=True)
+        # Non-random: rank pool points by local density in encoded space
+        # (distance to the 5th neighbour within the pool, smaller = denser).
+        encoder = TabularEncoder().fit(dataset.table)
+        X = encoder.transform(dataset.table.take(pool))
+        sq = (X**2).sum(axis=1)
+        dist2 = np.maximum(sq[:, None] + sq[None, :] - 2.0 * (X @ X.T), 0.0)
+        np.fill_diagonal(dist2, np.inf)
+        kth = np.sort(dist2, axis=1)[:, min(4, len(pool) - 2)]
+        densest = pool[np.argsort(kth)]
+        return rng.choice(densest[:budget], size=count, replace=True)
+
+    def _jittered_copy(
+        self, table: Table, rows: np.ndarray, rng: np.random.Generator
+    ) -> Table:
+        base = table.take(rows)
+        if self.jitter <= 0:
+            return base
+        columns = []
+        for name in base.column_names:
+            column = base.column(name)
+            if isinstance(column, NumericColumn):
+                scale = float(table.column(name).values.std()) * self.jitter
+                noisy = column.values + rng.normal(0.0, scale or 0.0, len(column))
+                lo = float(table.column(name).values.min())
+                hi = float(table.column(name).values.max())
+                values = np.clip(np.round(noisy), lo, hi)
+                columns.append(NumericColumn(name, values))
+            else:
+                assert isinstance(column, CategoricalColumn)
+                columns.append(column)
+        return Table(columns)

@@ -1,0 +1,104 @@
+"""Detecting poisoned subsets by influence-ranked clustering (§6.7).
+
+The defense: cluster the (encoded) training data, estimate every cluster's
+second-order influence on model bias, and inspect the clusters whose removal
+would reduce bias the most.  Anchoring-attack poison — which is invisible to
+LOF because it mimics the data distribution — lands overwhelmingly in the
+top-ranked clusters, because concentrating bias is exactly what the attack
+optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.gmm import GaussianMixture
+from repro.cluster.kmeans import KMeans
+from repro.influence.estimators import InfluenceEstimator
+
+
+@dataclass
+class DetectionReport:
+    """Clusters ranked by estimated responsibility for model bias."""
+
+    cluster_labels: np.ndarray
+    ranking: list[int]            # cluster ids, most bias-responsible first
+    responsibilities: dict[int, float]
+    sizes: dict[int, int]
+
+    def top_clusters(self, j: int) -> list[int]:
+        """The j most bias-responsible cluster ids."""
+        if j < 1:
+            raise ValueError(f"j must be >= 1, got {j}")
+        return self.ranking[:j]
+
+    def membership_mask(self, clusters: list[int]) -> np.ndarray:
+        """Boolean mask of points belonging to any of the given clusters."""
+        return np.isin(self.cluster_labels, clusters)
+
+    def fraction_in_top(self, target_mask: np.ndarray, j: int = 2) -> float:
+        """Fraction of ``target_mask`` points captured by the top-j clusters.
+
+        With ``target_mask`` = the ground-truth poison mask this is the
+        recall number the paper reports (~70% in the top-2 clusters).
+        """
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if target_mask.shape != self.cluster_labels.shape:
+            raise ValueError("target mask must align with the clustered rows")
+        total = int(target_mask.sum())
+        if total == 0:
+            raise ValueError("target mask selects no rows")
+        captured = target_mask & self.membership_mask(self.top_clusters(j))
+        return float(captured.sum() / total)
+
+
+def rank_clusters_by_influence(
+    X: np.ndarray,
+    estimator: InfluenceEstimator,
+    n_clusters: int = 10,
+    method: str = "kmeans",
+    seed: int | np.random.Generator | None = 0,
+) -> DetectionReport:
+    """Cluster training rows and rank clusters by bias responsibility.
+
+    Parameters
+    ----------
+    X:
+        Encoded training matrix (must be the estimator's training data).
+    estimator:
+        Influence estimator (the paper uses second-order) bound to the model
+        trained on the possibly-poisoned data.
+    n_clusters / method / seed:
+        Clustering configuration; ``method`` is ``"kmeans"`` or ``"gmm"``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if len(X) != estimator.num_train:
+        raise ValueError(
+            f"X has {len(X)} rows but the estimator was built on {estimator.num_train}"
+        )
+    if method == "kmeans":
+        labels = KMeans(n_clusters, seed=seed).fit(X).labels
+    elif method == "gmm":
+        labels = GaussianMixture(n_clusters, seed=seed).fit(X).predict(X)
+    else:
+        raise ValueError(f"method must be 'kmeans' or 'gmm', got {method!r}")
+    assert labels is not None
+
+    responsibilities: dict[int, float] = {}
+    sizes: dict[int, int] = {}
+    for cluster in range(n_clusters):
+        members = np.flatnonzero(labels == cluster)
+        sizes[cluster] = len(members)
+        if len(members) == 0 or len(members) >= estimator.num_train:
+            responsibilities[cluster] = -np.inf
+            continue
+        responsibilities[cluster] = estimator.responsibility(members)
+    ranking = sorted(responsibilities, key=lambda c: -responsibilities[c])
+    return DetectionReport(
+        cluster_labels=labels,
+        ranking=ranking,
+        responsibilities=responsibilities,
+        sizes=sizes,
+    )

@@ -1,0 +1,21 @@
+"""A small column-oriented table engine.
+
+pandas is not available in this environment, and Gopher only needs a narrow
+slice of dataframe functionality: typed columns, boolean-mask filtering by
+predicates, distinct values, group-by counts, and CSV round-trips.  This
+package provides exactly that on top of numpy arrays, in a form the pattern
+lattice can query efficiently (column-at-a-time, mask-based).
+"""
+
+from repro.tabular.columns import CategoricalColumn, Column, NumericColumn
+from repro.tabular.csv_io import read_csv, write_csv
+from repro.tabular.table import Table
+
+__all__ = [
+    "CategoricalColumn",
+    "Column",
+    "NumericColumn",
+    "Table",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,162 @@
+"""Typed columns backing :class:`repro.tabular.Table`.
+
+Two concrete column kinds exist:
+
+* :class:`NumericColumn` — float64 values, supports ordered comparisons.
+* :class:`CategoricalColumn` — dictionary-encoded strings (int32 codes plus a
+  category list), supports equality only.  Dictionary encoding keeps pattern
+  matching and group-bys O(n) integer comparisons instead of string work,
+  which matters because the lattice search evaluates thousands of predicates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class Column:
+    """Abstract base for table columns.
+
+    Subclasses must expose ``values`` (a numpy array view of the data),
+    ``take`` (row subsetting) and the comparison mask builders used by
+    predicates.
+    """
+
+    name: str
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column restricted to ``indices`` (in order)."""
+        raise NotImplementedError
+
+    def equals_mask(self, value: object) -> np.ndarray:
+        """Boolean mask of rows equal to ``value``."""
+        raise NotImplementedError
+
+    def distinct(self) -> list[object]:
+        """Sorted distinct values present in the column."""
+        raise NotImplementedError
+
+    def to_list(self) -> list[object]:
+        """Materialize the column as a Python list."""
+        raise NotImplementedError
+
+
+class NumericColumn(Column):
+    """A float64 column supporting ordered comparison masks."""
+
+    def __init__(self, name: str, values: Iterable[float]) -> None:
+        self.name = name
+        self.values = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                                 dtype=np.float64)
+        if self.values.ndim != 1:
+            raise ValueError(f"column {name!r} must be 1-dimensional")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"NumericColumn({self.name!r}, n={len(self)})"
+
+    def take(self, indices: np.ndarray) -> "NumericColumn":
+        return NumericColumn(self.name, self.values[indices])
+
+    def equals_mask(self, value: object) -> np.ndarray:
+        return self.values == float(value)  # type: ignore[arg-type]
+
+    def less_mask(self, value: float) -> np.ndarray:
+        return self.values < value
+
+    def less_equal_mask(self, value: float) -> np.ndarray:
+        return self.values <= value
+
+    def greater_mask(self, value: float) -> np.ndarray:
+        return self.values > value
+
+    def greater_equal_mask(self, value: float) -> np.ndarray:
+        return self.values >= value
+
+    def distinct(self) -> list[object]:
+        return [float(v) for v in np.unique(self.values)]
+
+    def to_list(self) -> list[object]:
+        return [float(v) for v in self.values]
+
+    def min(self) -> float:
+        return float(self.values.min())
+
+    def max(self) -> float:
+        return float(self.values.max())
+
+
+class CategoricalColumn(Column):
+    """A dictionary-encoded string column supporting equality masks."""
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[str] | np.ndarray | None = None,
+        *,
+        codes: np.ndarray | None = None,
+        categories: Sequence[str] | None = None,
+    ) -> None:
+        self.name = name
+        if codes is not None:
+            if categories is None:
+                raise ValueError("categories are required when passing codes")
+            self.categories = list(categories)
+            self.codes = np.asarray(codes, dtype=np.int32)
+            if self.codes.size and (self.codes.min() < 0 or self.codes.max() >= len(self.categories)):
+                raise ValueError(f"codes out of range for column {name!r}")
+        else:
+            if values is None:
+                raise ValueError("either values or codes must be provided")
+            as_str = np.asarray([str(v) for v in values])
+            self.categories, codes_arr = _encode(as_str)
+            self.codes = codes_arr
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __repr__(self) -> str:
+        return f"CategoricalColumn({self.name!r}, n={len(self)}, k={len(self.categories)})"
+
+    @property
+    def values(self) -> np.ndarray:
+        """Decoded string values (materialized on access)."""
+        return np.asarray(self.categories, dtype=object)[self.codes]
+
+    def take(self, indices: np.ndarray) -> "CategoricalColumn":
+        return CategoricalColumn(
+            self.name, codes=self.codes[indices], categories=self.categories
+        )
+
+    def code_of(self, value: str) -> int:
+        """Return the integer code of ``value`` or -1 if absent."""
+        try:
+            return self.categories.index(str(value))
+        except ValueError:
+            return -1
+
+    def equals_mask(self, value: object) -> np.ndarray:
+        code = self.code_of(str(value))
+        if code < 0:
+            return np.zeros(len(self), dtype=bool)
+        return self.codes == code
+
+    def distinct(self) -> list[object]:
+        present = np.unique(self.codes)
+        return sorted(self.categories[c] for c in present)
+
+    def to_list(self) -> list[object]:
+        return [self.categories[c] for c in self.codes]
+
+
+def _encode(values: np.ndarray) -> tuple[list[str], np.ndarray]:
+    """Dictionary-encode a string array into (categories, int32 codes)."""
+    categories, codes = np.unique(values, return_inverse=True)
+    return [str(c) for c in categories], codes.astype(np.int32)

@@ -1,0 +1,188 @@
+"""The column-oriented :class:`Table` used throughout the library."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.columns import CategoricalColumn, Column, NumericColumn
+
+
+class Table:
+    """An immutable, column-oriented table.
+
+    Columns are typed (:class:`NumericColumn` or :class:`CategoricalColumn`)
+    and all row operations are expressed through boolean masks or index
+    arrays, which is the access pattern the pattern-lattice search needs.
+
+    Example
+    -------
+    >>> t = Table.from_dict({"age": [30, 50], "gender": ["Female", "Male"]})
+    >>> t.num_rows
+    2
+    >>> t.filter(t.column("age").greater_equal_mask(40)).num_rows
+    1
+    """
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise ValueError("a Table needs at least one column")
+        lengths = {len(col) for col in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        names = [col.name for col in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names: {names}")
+        self._columns: dict[str, Column] = {col.name: col for col in columns}
+        self._num_rows = lengths.pop()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[object]]) -> "Table":
+        """Build a table, inferring numeric vs. categorical per column."""
+        columns: list[Column] = []
+        for name, values in data.items():
+            values = list(values) if not isinstance(values, np.ndarray) else values
+            columns.append(_infer_column(name, values))
+        return cls(columns)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:
+        return f"Table(rows={self._num_rows}, columns={self.column_names})"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` (raises ``KeyError`` if absent)."""
+        if name not in self._columns:
+            raise KeyError(f"no column named {name!r}; available: {self.column_names}")
+        return self._columns[name]
+
+    def is_numeric(self, name: str) -> bool:
+        return isinstance(self.column(name), NumericColumn)
+
+    def is_categorical(self, name: str) -> bool:
+        return isinstance(self.column(name), CategoricalColumn)
+
+    def distinct(self, name: str) -> list[object]:
+        """Distinct values of a column (the π_X(D) of Algorithm 1)."""
+        return self.column(name).distinct()
+
+    def row(self, index: int) -> dict[str, object]:
+        """Materialize a single row as a dict (for display/debugging)."""
+        if not 0 <= index < self._num_rows:
+            raise IndexError(f"row {index} out of range [0, {self._num_rows})")
+        return {name: col.to_list()[index] for name, col in self._columns.items()}
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return the sub-table of rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._num_rows,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match table rows {self._num_rows}"
+            )
+        indices = np.flatnonzero(mask)
+        return self.take(indices)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return the sub-table of rows at ``indices`` (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table([col.take(indices) for col in self._columns.values()])
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto the given columns, preserving order of ``names``."""
+        return Table([self.column(name) for name in names])
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Return the table without the given columns."""
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise KeyError(f"cannot drop missing columns: {missing}")
+        keep = [n for n in self.column_names if n not in set(names)]
+        return self.select(keep)
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a copy with ``column`` added or replaced."""
+        if len(column) != self._num_rows:
+            raise ValueError(
+                f"column length {len(column)} does not match table rows {self._num_rows}"
+            )
+        columns = [c for c in self._columns.values() if c.name != column.name]
+        columns.append(column)
+        return Table(columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertically stack two tables with identical schemas."""
+        if self.column_names != other.column_names:
+            raise ValueError(
+                "schema mismatch: "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        columns: list[Column] = []
+        for name in self.column_names:
+            left, right = self.column(name), other.column(name)
+            if isinstance(left, NumericColumn) and isinstance(right, NumericColumn):
+                columns.append(NumericColumn(name, np.concatenate([left.values, right.values])))
+            elif isinstance(left, CategoricalColumn) and isinstance(right, CategoricalColumn):
+                merged = np.concatenate([left.values, right.values])
+                columns.append(CategoricalColumn(name, merged))
+            else:
+                raise ValueError(f"column {name!r} has mismatched types across tables")
+        return Table(columns)
+
+    def replicate(self, factor: int) -> "Table":
+        """Tile the table ``factor`` times (used by the Figure 5 scale-up)."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        indices = np.tile(np.arange(self._num_rows), factor)
+        return self.take(indices)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def group_by_count(self, name: str) -> dict[object, int]:
+        """Counts of each distinct value of a column."""
+        col = self.column(name)
+        if isinstance(col, CategoricalColumn):
+            counts = np.bincount(col.codes, minlength=len(col.categories))
+            return {
+                cat: int(cnt)
+                for cat, cnt in zip(col.categories, counts)
+                if cnt > 0
+            }
+        values, counts = np.unique(col.values, return_counts=True)
+        return {float(v): int(c) for v, c in zip(values, counts)}
+
+    def to_dict(self) -> dict[str, list[object]]:
+        """Materialize the full table as a dict of lists."""
+        return {name: col.to_list() for name, col in self._columns.items()}
+
+
+def _infer_column(name: str, values: Sequence[object] | np.ndarray) -> Column:
+    """Build a NumericColumn if every value is number-like, else categorical."""
+    arr = np.asarray(values)
+    if arr.dtype.kind in "ifu" and arr.dtype.kind != "b":
+        return NumericColumn(name, arr.astype(np.float64))
+    if arr.dtype.kind == "b":
+        return CategoricalColumn(name, [str(bool(v)) for v in arr])
+    return CategoricalColumn(name, [str(v) for v in arr])

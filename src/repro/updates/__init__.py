@@ -1,0 +1,20 @@
+"""Update-based explanations (paper Section 5).
+
+Instead of deleting a responsible subset, Gopher can search for a
+*homogeneous update* — one perturbation vector δ applied to every data point
+the pattern covers — that maximally reduces model bias.  The search is a
+projected gradient ascent in encoded feature space (Eq. 16–18) followed by a
+projection of the updated points back onto the valid input domain (Eq. 19).
+"""
+
+from repro.updates.domain import UpdateDomain
+from repro.updates.perturbation import apply_delta, describe_update
+from repro.updates.projected_gd import UpdateExplanation, find_update_explanation
+
+__all__ = [
+    "UpdateDomain",
+    "UpdateExplanation",
+    "apply_delta",
+    "describe_update",
+    "find_update_explanation",
+]

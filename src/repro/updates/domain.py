@@ -1,0 +1,77 @@
+"""Domain constraints for homogeneous updates.
+
+A perturbation vector δ lives in the encoded feature space.  The domain
+object knows, per encoded coordinate, which components δ may touch (only the
+features the caller allows — by default the features mentioned in the
+pattern being explained, which is what keeps updates interpretable) and what
+box the *perturbed points* must stay inside during the continuous phase:
+
+* numeric slots: the observed [min, max] of the training data (standardized);
+* one-hot slots: the [0, 1] box relaxation of the simplex.
+
+The final snap onto exact one-hot vectors / clipped numerics (paper Eq. 19)
+is :meth:`repro.datasets.TabularEncoder.project_rows`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.encoding import TabularEncoder
+
+
+class UpdateDomain:
+    """Feasible-region bookkeeping for the projected-gradient update search."""
+
+    def __init__(
+        self,
+        encoder: TabularEncoder,
+        subset_X: np.ndarray,
+        allowed_features: set[str] | None = None,
+    ) -> None:
+        if len(subset_X) == 0:
+            raise ValueError("cannot build an update domain for an empty subset")
+        self.encoder = encoder
+        self.subset_X = np.asarray(subset_X, dtype=np.float64)
+        dim = encoder.num_features
+        if self.subset_X.shape[1] != dim:
+            raise ValueError(
+                f"subset has {self.subset_X.shape[1]} features, encoder expects {dim}"
+            )
+        known = {g.column for g in encoder.groups}
+        if allowed_features is not None:
+            unknown = allowed_features - known
+            if unknown:
+                raise ValueError(f"unknown features in allowed set: {sorted(unknown)}")
+        self.allowed_features = allowed_features if allowed_features is not None else known
+
+        self.mask = np.zeros(dim, dtype=bool)
+        self.delta_lo = np.zeros(dim)
+        self.delta_hi = np.zeros(dim)
+        for group in encoder.groups:
+            if group.column not in self.allowed_features:
+                continue
+            sl = slice(group.start, group.stop)
+            self.mask[sl] = True
+            block = self.subset_X[:, sl]
+            # One δ moves every subset row, so each bound binds on the row
+            # closest to the edge: δ >= lo − min(x) and δ <= hi − max(x).
+            if group.kind == "categorical":
+                self.delta_lo[sl] = -block.min(axis=0)
+                self.delta_hi[sl] = 1.0 - block.max(axis=0)
+            else:
+                lo = (group.minimum - group.mean) / group.std
+                hi = (group.maximum - group.mean) / group.std
+                self.delta_lo[sl] = lo - block.min(axis=0)
+                self.delta_hi[sl] = hi - block.max(axis=0)
+
+    def project_delta(self, delta: np.ndarray) -> np.ndarray:
+        """Clip δ into the feasible box and zero out untouchable coordinates."""
+        delta = np.asarray(delta, dtype=np.float64).copy()
+        delta[~self.mask] = 0.0
+        np.clip(delta, self.delta_lo, self.delta_hi, out=delta)
+        return delta
+
+    def snap_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Paper Eq. 19: project perturbed rows onto the exact input domain."""
+        return self.encoder.project_rows(rows)

@@ -1,0 +1,56 @@
+"""Applying homogeneous perturbations and describing them in words."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.encoding import TabularEncoder
+
+
+def apply_delta(X: np.ndarray, indices: np.ndarray, delta: np.ndarray) -> np.ndarray:
+    """Return a copy of ``X`` with ``delta`` added to the rows at ``indices``."""
+    X = np.asarray(X, dtype=np.float64)
+    out = X.copy()
+    out[np.asarray(indices, dtype=np.int64)] += np.asarray(delta, dtype=np.float64)
+    return out
+
+
+def describe_update(
+    encoder: TabularEncoder,
+    before_rows: np.ndarray,
+    after_rows: np.ndarray,
+    numeric_tolerance: float = 1e-6,
+) -> dict[str, tuple[str, str]]:
+    """Summarize what a homogeneous update did, feature by feature.
+
+    Categorical features report the modal category before and after
+    (``("Female", "Male")``); numeric features report the rounded means.
+    Features that did not change are omitted.
+    """
+    before_rows = np.atleast_2d(before_rows)
+    after_rows = np.atleast_2d(after_rows)
+    if before_rows.shape != after_rows.shape:
+        raise ValueError("before/after row blocks must have identical shapes")
+    changes: dict[str, tuple[str, str]] = {}
+    for group in encoder.groups:
+        sl = slice(group.start, group.stop)
+        if group.kind == "categorical":
+            modal_before = _modal_category(before_rows[:, sl], group.categories)
+            modal_after = _modal_category(after_rows[:, sl], group.categories)
+            if modal_before != modal_after:
+                changes[group.column] = (modal_before, modal_after)
+        else:
+            mean_before = float(before_rows[:, sl].mean()) * group.std + group.mean
+            mean_after = float(after_rows[:, sl].mean()) * group.std + group.mean
+            if abs(mean_after - mean_before) > numeric_tolerance:
+                changes[group.column] = (
+                    f"{mean_before:.1f}",
+                    f"{mean_after:.1f}",
+                )
+    return changes
+
+
+def _modal_category(block: np.ndarray, categories: list[str]) -> str:
+    winners = np.argmax(block, axis=1)
+    counts = np.bincount(winners, minlength=len(categories))
+    return categories[int(np.argmax(counts))]

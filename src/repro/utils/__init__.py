@@ -1,0 +1,21 @@
+"""Shared utilities: seeded randomness, timing, and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary_labels,
+    check_same_length,
+)
+
+__all__ = [
+    "Timer",
+    "check_1d",
+    "check_2d",
+    "check_binary_labels",
+    "check_same_length",
+    "ensure_rng",
+    "spawn_rngs",
+    "timed",
+]

@@ -1,0 +1,38 @@
+"""Lightweight wall-clock timing used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from typing import Any
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start
+
+
+def timed(func: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    with Timer() as timer:
+        result = func(*args, **kwargs)
+    return result, timer.elapsed

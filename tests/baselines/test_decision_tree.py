@@ -1,0 +1,103 @@
+"""Tests for the from-scratch CART regressor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DecisionTreeRegressor
+from repro.tabular import Table
+
+
+@pytest.fixture
+def step_data():
+    """Target is a clean step function of a numeric feature."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 10, 300)
+    targets = np.where(x < 5.0, -1.0, 1.0)
+    table = Table.from_dict({"x": x, "noise": rng.normal(size=300)})
+    return table, targets
+
+
+@pytest.fixture
+def categorical_data():
+    rng = np.random.default_rng(1)
+    groups = rng.choice(["a", "b", "c"], size=300)
+    targets = np.where(groups == "a", 2.0, 0.0) + rng.normal(scale=0.01, size=300)
+    table = Table.from_dict({"g": groups, "noise": rng.normal(size=300)})
+    return table, targets
+
+
+class TestFitting:
+    def test_recovers_numeric_step(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=10).fit(table, targets)
+        predictions = tree.predict(table)
+        assert np.mean((predictions - targets) ** 2) < 0.05
+
+    def test_root_split_near_step(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=1, min_samples_leaf=10).fit(table, targets)
+        assert tree.root.split_feature == "x"
+        assert 3.5 < float(tree.root.split_value) < 6.5
+
+    def test_recovers_categorical_effect(self, categorical_data):
+        table, targets = categorical_data
+        tree = DecisionTreeRegressor(max_depth=1, min_samples_leaf=10).fit(table, targets)
+        assert tree.root.split_feature == "g"
+        assert tree.root.split_op == "="
+        assert tree.root.split_value == "a"
+
+    def test_constant_target_no_split(self):
+        table = Table.from_dict({"x": np.arange(50.0)})
+        tree = DecisionTreeRegressor(max_depth=3).fit(table, np.zeros(50))
+        assert tree.root.is_leaf
+
+    def test_depth_respected(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=5).fit(table, targets)
+        assert max(node.depth for node in tree.nodes()) <= 2
+
+    def test_min_samples_leaf_respected(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=40).fit(table, targets)
+        leaves = [n for n in tree.nodes() if n.is_leaf]
+        assert all(leaf.size >= 40 for leaf in leaves)
+
+
+class TestNodeAccounting:
+    def test_totals_sum_to_parent(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=10).fit(table, targets)
+        for node in tree.nodes():
+            if not node.is_leaf:
+                assert node.total == pytest.approx(node.left.total + node.right.total)
+
+    def test_paths_partition_rows(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=10).fit(table, targets)
+        leaves = [n for n in tree.nodes() if n.is_leaf]
+        total_rows = sum(leaf.size for leaf in leaves)
+        assert total_rows == table.num_rows
+
+    def test_path_recorded(self, step_data):
+        table, targets = step_data
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=10).fit(table, targets)
+        child = tree.root.left
+        assert child.path[0][0] == tree.root.split_feature
+
+
+class TestValidation:
+    def test_target_length_mismatch(self, step_data):
+        table, _ = step_data
+        with pytest.raises(ValueError, match="targets length"):
+            DecisionTreeRegressor().fit(table, np.zeros(3))
+
+    def test_unfitted_predict(self, step_data):
+        table, _ = step_data
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeRegressor().predict(table)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError, match="min_samples_leaf"):
+            DecisionTreeRegressor(min_samples_leaf=0)

@@ -1,0 +1,59 @@
+"""Tests for the benchmark rendering helpers."""
+
+from repro.bench import render_series, render_table
+from repro.bench.rendering import emit
+
+
+class TestRenderTable:
+    def test_contains_title_headers_rows(self):
+        text = render_table("My Table", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "=== My Table ===" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text and "x" in text
+
+    def test_column_alignment(self):
+        text = render_table("T", ["col", "x"], [["aaaa", 1], ["b", 22]])
+        lines = [l for l in text.splitlines() if l and not l.startswith("===")]
+        header, rule, row1, row2 = lines[:4]
+        assert header.index("x") == row1.index("1") or len(row1) >= header.index("x")
+
+    def test_note_rendered(self):
+        text = render_table("T", ["a"], [[1]], note="hello")
+        assert "note: hello" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table("T", ["a", "b"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = render_table("T", ["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestRenderSeries:
+    def test_one_row_per_x(self):
+        text = render_series(
+            "S", "x", [1, 2, 3], {"f": [0.1, 0.2, 0.3], "g": [1.0, 2.0, 3.0]}
+        )
+        lines = [l for l in text.splitlines() if l.strip() and not l.startswith(("===", "note"))]
+        assert len(lines) == 2 + 3  # header + rule + 3 rows
+
+    def test_custom_format(self):
+        text = render_series("S", "x", [1], {"f": [0.123456]}, value_format="{:.2f}")
+        assert "0.12" in text
+
+
+class TestEmit:
+    def test_writes_results_file(self, tmp_path, monkeypatch):
+        import repro.bench.rendering as rendering
+
+        monkeypatch.setattr(rendering, "_RESULTS_DIR", tmp_path)
+        emit("hello world", filename="out.txt")
+        assert (tmp_path / "out.txt").read_text() == "hello world\n"
+
+    def test_no_file_when_filename_omitted(self, tmp_path, monkeypatch):
+        import repro.bench.rendering as rendering
+
+        monkeypatch.setattr(rendering, "_RESULTS_DIR", tmp_path)
+        emit("just stdout")
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,67 @@
+"""Tests for the shared benchmark workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_pipeline, coherent_subsets
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_pipeline("german", "logistic_regression", n_rows=400, seed=11)
+
+
+class TestBuildPipeline:
+    def test_bundle_is_consistent(self, bundle):
+        assert bundle.X_train.shape[0] == bundle.train.num_rows
+        assert bundle.model.theta is not None
+        assert bundle.test_ctx.X.shape[0] == bundle.test.num_rows
+
+    def test_original_bias_matches_metric(self, bundle):
+        assert bundle.original_bias == pytest.approx(
+            bundle.metric.value(bundle.model, bundle.test_ctx)
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            build_pipeline("nope")
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_pipeline("german", "nope")
+
+    def test_sqf_flips_favorable_label(self):
+        sqf = build_pipeline("sqf", n_rows=400, seed=0)
+        assert sqf.test_ctx.favorable_label == 0
+
+    def test_all_models_buildable(self):
+        for model in ("svm", "neural_network"):
+            b = build_pipeline("german", model, n_rows=200, seed=11)
+            assert b.model.theta is not None
+
+
+class TestCoherentSubsets:
+    def test_count_and_bounds(self, bundle):
+        subsets = coherent_subsets(bundle, 10, seed=0, min_size=15, max_fraction=0.3)
+        assert len(subsets) == 10
+        n = bundle.train.num_rows
+        for idx in subsets:
+            assert 15 <= len(idx) <= int(0.3 * n) + 1
+            assert idx.min() >= 0 and idx.max() < n
+
+    def test_sorted_unique_indices(self, bundle):
+        for idx in coherent_subsets(bundle, 6, seed=1):
+            assert len(np.unique(idx)) == len(idx)
+            assert (np.diff(idx) > 0).all()
+
+    def test_deterministic(self, bundle):
+        a = coherent_subsets(bundle, 4, seed=3)
+        b = coherent_subsets(bundle, 4, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_alternates_coherent_and_random(self, bundle):
+        """Even indices come from predicates (coherent); the generator must
+        produce both kinds without exhausting its attempt budget."""
+        subsets = coherent_subsets(bundle, 8, seed=5)
+        assert len(subsets) == 8

@@ -1,0 +1,65 @@
+"""Tests for the from-scratch diagonal GMM."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GaussianMixture
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(1)
+    X = np.vstack(
+        [
+            rng.normal([0, 0], [0.5, 0.5], size=(100, 2)),
+            rng.normal([8, 8], [1.0, 1.0], size=(100, 2)),
+        ]
+    )
+    labels = np.repeat([0, 1], 100)
+    return X, labels
+
+
+class TestGaussianMixture:
+    def test_separates_blobs(self, blobs):
+        X, truth = blobs
+        gmm = GaussianMixture(2, seed=0).fit(X)
+        predicted = gmm.predict(X)
+        for g in (0, 1):
+            values, counts = np.unique(predicted[truth == g], return_counts=True)
+            assert counts.max() / counts.sum() > 0.97
+
+    def test_weights_sum_to_one(self, blobs):
+        X, _ = blobs
+        gmm = GaussianMixture(2, seed=0).fit(X)
+        assert gmm.weights.sum() == pytest.approx(1.0)
+
+    def test_means_near_truth(self, blobs):
+        X, _ = blobs
+        gmm = GaussianMixture(2, seed=0).fit(X)
+        for center in ([0, 0], [8, 8]):
+            assert np.linalg.norm(gmm.means - center, axis=1).min() < 0.5
+
+    def test_score_samples_higher_in_dense_region(self, blobs):
+        X, _ = blobs
+        gmm = GaussianMixture(2, seed=0).fit(X)
+        inlier = gmm.score_samples(np.array([[0.0, 0.0]]))
+        outlier = gmm.score_samples(np.array([[50.0, -50.0]]))
+        assert inlier[0] > outlier[0]
+
+    def test_variances_positive(self, blobs):
+        X, _ = blobs
+        gmm = GaussianMixture(2, seed=0).fit(X)
+        assert (gmm.variances > 0).all()
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least"):
+            GaussianMixture(10).fit(np.zeros((3, 2)))
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError, match="n_components"):
+            GaussianMixture(0)
+
+    def test_single_component_fits_global(self, blobs):
+        X, _ = blobs
+        gmm = GaussianMixture(1, seed=0).fit(X)
+        np.testing.assert_allclose(gmm.means[0], X.mean(axis=0), atol=0.2)

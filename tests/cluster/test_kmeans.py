@@ -1,0 +1,73 @@
+"""Tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    X = np.vstack([rng.normal(c, 0.5, size=(50, 2)) for c in centers])
+    labels = np.repeat([0, 1, 2], 50)
+    return X, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        X, truth = blobs
+        km = KMeans(3, seed=0).fit(X)
+        # Clusters should be pure wrt ground truth (up to relabeling).
+        for g in range(3):
+            values, counts = np.unique(km.labels[truth == g], return_counts=True)
+            assert counts.max() / counts.sum() > 0.98
+
+    def test_centers_near_truth(self, blobs):
+        X, _ = blobs
+        km = KMeans(3, seed=0).fit(X)
+        for true_center in [[0, 0], [10, 10], [-10, 10]]:
+            distances = np.linalg.norm(km.centers - true_center, axis=1)
+            assert distances.min() < 1.0
+
+    def test_predict_matches_fit_labels(self, blobs):
+        X, _ = blobs
+        km = KMeans(3, seed=0).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels)
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        X, _ = blobs
+        inertia2 = KMeans(2, seed=0).fit(X).inertia
+        inertia6 = KMeans(6, seed=0).fit(X).inertia
+        assert inertia6 < inertia2
+
+    def test_deterministic_given_seed(self, blobs):
+        X, _ = blobs
+        a = KMeans(3, seed=5).fit(X)
+        b = KMeans(3, seed=5).fit(X)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_single_cluster(self, blobs):
+        X, _ = blobs
+        km = KMeans(1, seed=0).fit(X)
+        assert set(km.labels) == {0}
+        np.testing.assert_allclose(km.centers[0], X.mean(axis=0), atol=1e-8)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least"):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_unfitted_predict(self, blobs):
+        X, _ = blobs
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KMeans(2).predict(X)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            KMeans(0)
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((20, 3))
+        km = KMeans(2, seed=0).fit(X)
+        assert len(km.labels) == 20

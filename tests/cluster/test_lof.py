@@ -1,0 +1,40 @@
+"""Tests for the from-scratch Local Outlier Factor."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import local_outlier_factor
+
+
+class TestLOF:
+    def test_isolated_point_flagged(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, size=(100, 2)), [[12.0, 12.0]]])
+        lof = local_outlier_factor(X, n_neighbors=10)
+        assert np.argmax(lof) == 100
+        assert lof[100] > 1.5
+
+    def test_uniform_cloud_scores_near_one(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(200, 2))
+        lof = local_outlier_factor(X, n_neighbors=15)
+        assert np.median(lof) == pytest.approx(1.0, abs=0.15)
+
+    def test_duplicated_inlier_not_flagged(self):
+        rng = np.random.default_rng(2)
+        X = np.vstack([rng.normal(0, 1, size=(100, 2))] + [[[0.0, 0.0]]] * 5)
+        lof = local_outlier_factor(X, n_neighbors=10)
+        assert lof[-5:].max() < 1.5
+
+    def test_shape(self):
+        X = np.random.default_rng(3).normal(size=(50, 3))
+        assert local_outlier_factor(X, 5).shape == (50,)
+
+    def test_invalid_neighbors(self):
+        X = np.zeros((10, 2))
+        with pytest.raises(ValueError, match="n_neighbors"):
+            local_outlier_factor(X, 0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="more than"):
+            local_outlier_factor(np.zeros((5, 2)), 10)

@@ -1,0 +1,45 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core import GopherConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = GopherConfig()
+        assert cfg.metric == "statistical_parity"
+        assert cfg.estimator == "second_order"
+        assert cfg.support_threshold == 0.05
+        assert cfg.prune_by_responsibility is True
+
+    def test_overrides(self):
+        cfg = GopherConfig(metric="equal_opportunity", max_predicates=4)
+        assert cfg.metric == "equal_opportunity"
+        assert cfg.max_predicates == 4
+
+
+class TestValidation:
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            GopherConfig(metric="nope")
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            GopherConfig(estimator="nope")
+
+    def test_bad_support(self):
+        with pytest.raises(ValueError, match="support_threshold"):
+            GopherConfig(support_threshold=1.0)
+
+    def test_bad_containment(self):
+        with pytest.raises(ValueError, match="containment_threshold"):
+            GopherConfig(containment_threshold=0.0)
+
+    def test_bad_max_predicates(self):
+        with pytest.raises(ValueError, match="max_predicates"):
+            GopherConfig(max_predicates=0)
+
+    def test_bad_test_fraction(self):
+        with pytest.raises(ValueError, match="test_fraction"):
+            GopherConfig(test_fraction=0.0)

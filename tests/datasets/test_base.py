@@ -1,0 +1,110 @@
+"""Tests for repro.datasets.base."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, ProtectedGroup
+from repro.tabular import Table
+
+
+@pytest.fixture
+def dataset():
+    table = Table.from_dict(
+        {
+            "age": [30.0, 50.0, 60.0, 20.0],
+            "gender": ["F", "M", "F", "M"],
+        }
+    )
+    labels = np.array([0, 1, 1, 0])
+    return Dataset("toy", table, labels, ProtectedGroup("age", privileged_threshold=45.0))
+
+
+class TestProtectedGroup:
+    def test_requires_exactly_one_spec(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ProtectedGroup("age")
+        with pytest.raises(ValueError, match="exactly one"):
+            ProtectedGroup("age", privileged_category="a", privileged_threshold=1.0)
+
+    def test_threshold_mask(self, dataset):
+        np.testing.assert_array_equal(
+            dataset.privileged_mask(), [False, True, True, False]
+        )
+
+    def test_category_mask(self):
+        table = Table.from_dict({"g": ["A", "B", "A"]})
+        group = ProtectedGroup("g", privileged_category="A")
+        np.testing.assert_array_equal(group.privileged_mask(table), [True, False, True])
+
+    def test_category_on_numeric_rejected(self, dataset):
+        group = ProtectedGroup("age", privileged_category="x")
+        with pytest.raises(TypeError, match="categorical"):
+            group.privileged_mask(dataset.table)
+
+    def test_threshold_on_categorical_rejected(self, dataset):
+        group = ProtectedGroup("gender", privileged_threshold=1.0)
+        with pytest.raises(TypeError, match="numeric"):
+            group.privileged_mask(dataset.table)
+
+    def test_describe(self):
+        assert "gender = M" in ProtectedGroup("gender", privileged_category="M").describe()
+        assert ">= 45" in ProtectedGroup("age", privileged_threshold=45.0).describe()
+
+
+class TestDataset:
+    def test_basic_properties(self, dataset):
+        assert dataset.num_rows == 4
+        assert "age" in dataset.feature_names
+
+    def test_label_length_check(self, dataset):
+        with pytest.raises(ValueError, match="labels length"):
+            Dataset("x", dataset.table, np.array([0, 1]), dataset.protected)
+
+    def test_protected_attr_must_exist(self, dataset):
+        with pytest.raises(ValueError, match="missing"):
+            Dataset(
+                "x",
+                dataset.table,
+                dataset.labels,
+                ProtectedGroup("nope", privileged_category="a"),
+            )
+
+    def test_invalid_favorable_label(self, dataset):
+        with pytest.raises(ValueError, match="favorable_label"):
+            Dataset("x", dataset.table, dataset.labels, dataset.protected, favorable_label=2)
+
+    def test_favorable_mask_respects_flip(self, dataset):
+        flipped = Dataset(
+            "x", dataset.table, dataset.labels, dataset.protected, favorable_label=0
+        )
+        np.testing.assert_array_equal(
+            flipped.favorable_mask(), dataset.labels == 0
+        )
+
+    def test_subset(self, dataset):
+        sub = dataset.subset(np.array([1, 2]))
+        assert sub.num_rows == 2
+        np.testing.assert_array_equal(sub.labels, [1, 1])
+
+    def test_without(self, dataset):
+        remaining = dataset.without(np.array([True, False, False, True]))
+        assert remaining.num_rows == 2
+        np.testing.assert_array_equal(remaining.labels, [1, 1])
+
+    def test_without_wrong_shape(self, dataset):
+        with pytest.raises(ValueError, match="mask shape"):
+            dataset.without(np.array([True]))
+
+    def test_replicate(self, dataset):
+        rep = dataset.replicate(3)
+        assert rep.num_rows == 12
+        np.testing.assert_array_equal(rep.labels[:4], dataset.labels)
+
+    def test_with_rows(self, dataset):
+        extra = dataset.table.take(np.array([0]))
+        bigger = dataset.with_rows(extra, np.array([1]))
+        assert bigger.num_rows == 5
+        assert bigger.labels[-1] == 1
+
+    def test_renamed(self, dataset):
+        assert dataset.renamed("other").name == "other"

@@ -1,0 +1,51 @@
+"""Tests for repro.datasets.binning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.binning import equal_width_thresholds, quantile_thresholds
+
+
+class TestQuantileThresholds:
+    def test_count(self):
+        values = np.arange(100.0)
+        thresholds = quantile_thresholds(values, 4)
+        assert len(thresholds) == 3
+
+    def test_strictly_interior(self):
+        values = np.arange(10.0)
+        for t in quantile_thresholds(values, 4):
+            assert values.min() < t < values.max()
+
+    def test_sorted_and_unique(self):
+        values = np.random.default_rng(0).normal(size=200)
+        thresholds = quantile_thresholds(values, 5)
+        assert thresholds == sorted(set(thresholds))
+
+    def test_ties_collapse(self):
+        values = np.array([1.0] * 95 + [2.0] * 5)
+        thresholds = quantile_thresholds(values, 4)
+        assert len(thresholds) <= 1
+
+    def test_constant_column_empty(self):
+        assert quantile_thresholds(np.ones(50), 4) == []
+
+    def test_empty_input(self):
+        assert quantile_thresholds(np.array([]), 4) == []
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            quantile_thresholds(np.arange(5.0), 1)
+
+
+class TestEqualWidthThresholds:
+    def test_even_spacing(self):
+        thresholds = equal_width_thresholds(np.array([0.0, 10.0]), 5)
+        np.testing.assert_allclose(thresholds, [2.0, 4.0, 6.0, 8.0])
+
+    def test_constant_column_empty(self):
+        assert equal_width_thresholds(np.full(10, 3.0), 4) == []
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            equal_width_thresholds(np.arange(5.0), 0)

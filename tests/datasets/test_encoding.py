@@ -1,0 +1,98 @@
+"""Tests for repro.datasets.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.encoding import TabularEncoder
+from repro.tabular import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict(
+        {
+            "color": ["red", "blue", "red", "green"],
+            "size": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+
+
+@pytest.fixture
+def encoder(table):
+    return TabularEncoder().fit(table)
+
+
+class TestFitTransform:
+    def test_shape(self, encoder, table):
+        X = encoder.transform(table)
+        assert X.shape == (4, 4)  # 3 one-hot + 1 numeric
+
+    def test_one_hot_exact(self, encoder, table):
+        X = encoder.transform(table)
+        group = encoder.group_for("color")
+        block = X[:, group.start:group.stop]
+        np.testing.assert_array_equal(block.sum(axis=1), np.ones(4))
+
+    def test_numeric_standardized(self, encoder, table):
+        X = encoder.transform(table)
+        group = encoder.group_for("size")
+        col = X[:, group.start]
+        assert abs(col.mean()) < 1e-12
+        assert abs(col.std() - 1.0) < 1e-12
+
+    def test_feature_names(self, encoder):
+        assert "color=red" in encoder.feature_names
+        assert "size" in encoder.feature_names
+
+    def test_transform_before_fit_raises(self, table):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TabularEncoder().transform(table)
+
+    def test_unknown_group_raises(self, encoder):
+        with pytest.raises(KeyError):
+            encoder.group_for("nope")
+
+    def test_constant_numeric_column_no_nan(self):
+        t = Table.from_dict({"x": [5.0, 5.0, 5.0]})
+        X = TabularEncoder().fit_transform(t)
+        assert np.isfinite(X).all()
+
+
+class TestDecodeProject:
+    def test_decode_row_roundtrip(self, encoder, table):
+        X = encoder.transform(table)
+        decoded = encoder.decode_row(X[0])
+        assert decoded["color"] == "red"
+        assert decoded["size"] == pytest.approx(1.0)
+
+    def test_decode_wrong_shape(self, encoder):
+        with pytest.raises(ValueError, match="row shape"):
+            encoder.decode_row(np.zeros(2))
+
+    def test_project_snaps_one_hot(self, encoder, table):
+        X = encoder.transform(table)
+        perturbed = X.copy()
+        group = encoder.group_for("color")
+        perturbed[0, group.start:group.stop] = [0.4, 0.7, 0.2]
+        projected = encoder.project_rows(perturbed)
+        block = projected[0, group.start:group.stop]
+        assert sorted(block) == [0.0, 0.0, 1.0]
+
+    def test_project_clips_numeric(self, encoder, table):
+        X = encoder.transform(table)
+        group = encoder.group_for("size")
+        perturbed = X.copy()
+        perturbed[0, group.start] = 100.0
+        projected = encoder.project_rows(perturbed)
+        hi = (group.maximum - group.mean) / group.std
+        assert projected[0, group.start] == pytest.approx(hi)
+
+    def test_project_is_idempotent(self, encoder, table):
+        X = encoder.transform(table)
+        once = encoder.project_rows(X)
+        twice = encoder.project_rows(once)
+        np.testing.assert_array_almost_equal(once, twice)
+
+    def test_project_wrong_width(self, encoder):
+        with pytest.raises(ValueError, match="features"):
+            encoder.project_rows(np.zeros((1, 2)))

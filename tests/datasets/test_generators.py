@@ -1,0 +1,161 @@
+"""Tests for the three synthetic dataset generators.
+
+Beyond schema checks, these verify each generator actually *plants* the bias
+mechanism its module docstring promises — the property every downstream
+experiment relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_adult, load_german, load_sqf
+from repro.tabular import NumericColumn, write_csv
+
+
+class TestGermanSchema:
+    def test_default_size(self):
+        assert load_german().num_rows == 1000
+
+    def test_twenty_attributes(self):
+        assert len(load_german(100, seed=0).feature_names) == 20
+
+    def test_protected_is_age(self):
+        ds = load_german(100, seed=0)
+        assert ds.protected.attribute == "age"
+        assert ds.favorable_label == 1
+
+    def test_deterministic(self):
+        a = load_german(200, seed=5)
+        b = load_german(200, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValueError, match=">= 50"):
+            load_german(10)
+
+
+class TestGermanBias:
+    def test_old_favored(self):
+        ds = load_german(2000, seed=0)
+        old = ds.privileged_mask()
+        gap = ds.labels[old].mean() - ds.labels[~old].mean()
+        assert gap > 0.05
+
+    def test_old_females_strongly_favorable(self):
+        ds = load_german(2000, seed=0)
+        age = np.asarray(ds.table.column("age").values)
+        gender = np.asarray(ds.table.column("gender").values, dtype=object)
+        of = (age >= 45) & (gender == "Female")
+        assert ds.labels[of].mean() > 0.85
+
+    def test_bias_strength_zero_is_fairer(self):
+        biased = load_german(2000, seed=0, bias_strength=1.0)
+        fair = load_german(2000, seed=0, bias_strength=0.0)
+
+        def gap(ds):
+            old = ds.privileged_mask()
+            return ds.labels[old].mean() - ds.labels[~old].mean()
+
+        assert abs(gap(fair)) < abs(gap(biased))
+
+    def test_csv_roundtrip(self, tmp_path):
+        ds = load_german(120, seed=0)
+        table = ds.table.with_column(NumericColumn("credit_risk", ds.labels.astype(float)))
+        path = tmp_path / "german.csv"
+        write_csv(table, path)
+        loaded = load_german(csv_path=path)
+        assert loaded.num_rows == 120
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+
+    def test_csv_missing_label_column(self, tmp_path):
+        ds = load_german(60, seed=0)
+        path = tmp_path / "bad.csv"
+        write_csv(ds.table, path)
+        with pytest.raises(ValueError, match="credit_risk"):
+            load_german(csv_path=path)
+
+
+class TestAdult:
+    def test_schema(self):
+        ds = load_adult(500, seed=0)
+        assert ds.protected.attribute == "gender"
+        assert ds.protected.privileged_category == "Male"
+        assert "marital" in ds.feature_names
+        assert ds.favorable_label == 1
+
+    def test_males_favored(self):
+        ds = load_adult(4000, seed=0)
+        male = ds.privileged_mask()
+        assert ds.labels[male].mean() > ds.labels[~male].mean() + 0.05
+
+    def test_married_income_artifact(self):
+        ds = load_adult(4000, seed=0)
+        marital = np.asarray(ds.table.column("marital").values, dtype=object)
+        married = marital == "Married-civ-spouse"
+        assert ds.labels[married].mean() > ds.labels[~married].mean() + 0.15
+
+    def test_relationship_consistent_with_marriage(self):
+        ds = load_adult(1000, seed=0)
+        marital = np.asarray(ds.table.column("marital").values, dtype=object)
+        rel = np.asarray(ds.table.column("relationship").values, dtype=object)
+        married = marital == "Married-civ-spouse"
+        assert set(rel[married]) <= {"Husband", "Wife"}
+        assert not (set(rel[~married]) & {"Husband", "Wife"})
+
+    def test_education_num_matches_education(self):
+        ds = load_adult(500, seed=0)
+        edu = np.asarray(ds.table.column("education").values, dtype=object)
+        num = np.asarray(ds.table.column("education_num").values)
+        doctorate = edu == "Doctorate"
+        if doctorate.any():
+            assert (num[doctorate] == 16.0).all()
+
+    def test_min_rows(self):
+        with pytest.raises(ValueError, match=">= 100"):
+            load_adult(50)
+
+    def test_bias_strength_zero_is_fairer(self):
+        def gap(ds):
+            male = ds.privileged_mask()
+            return ds.labels[male].mean() - ds.labels[~male].mean()
+
+        assert abs(gap(load_adult(4000, seed=0, bias_strength=0.0))) < abs(
+            gap(load_adult(4000, seed=0, bias_strength=1.0))
+        )
+
+
+class TestSQF:
+    def test_schema(self):
+        ds = load_sqf(500, seed=0)
+        assert ds.protected.attribute == "race"
+        assert ds.protected.privileged_category == "White"
+        assert ds.favorable_label == 0  # not being frisked is favorable
+
+    def test_blacks_frisked_more(self):
+        ds = load_sqf(6000, seed=0)
+        race = np.asarray(ds.table.column("race").values, dtype=object)
+        frisked = ds.labels == 1
+        assert frisked[race == "Black"].mean() > frisked[race == "White"].mean() + 0.1
+
+    def test_no_description_mechanism(self):
+        ds = load_sqf(6000, seed=0)
+        race = np.asarray(ds.table.column("race").values, dtype=object)
+        fits = np.asarray(ds.table.column("fits_description").values, dtype=object)
+        loc = np.asarray(ds.table.column("location").values, dtype=object)
+        age = np.asarray(ds.table.column("age").values)
+        target = (race == "Black") & (fits == "No") & (loc == "Outside") & (age < 25)
+        baseline = (race == "White") & (fits == "No")
+        assert ds.labels[target].mean() > ds.labels[baseline].mean() + 0.2
+
+    def test_favorable_mask_is_not_frisked(self):
+        ds = load_sqf(300, seed=0)
+        np.testing.assert_array_equal(ds.favorable_mask(), ds.labels == 0)
+
+    def test_min_rows(self):
+        with pytest.raises(ValueError, match=">= 100"):
+            load_sqf(50)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            load_sqf(300, seed=9).labels, load_sqf(300, seed=9).labels
+        )

@@ -1,0 +1,49 @@
+"""Tests for repro.datasets.splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_german, train_test_split
+
+
+@pytest.fixture(scope="module")
+def german():
+    return load_german(400, seed=0)
+
+
+class TestTrainTestSplit:
+    def test_sizes_sum(self, german):
+        train, test = train_test_split(german, 0.25, seed=0)
+        assert train.num_rows + test.num_rows == german.num_rows
+
+    def test_fraction_respected(self, german):
+        _, test = train_test_split(german, 0.25, seed=0)
+        assert abs(test.num_rows / german.num_rows - 0.25) < 0.02
+
+    def test_stratified_both_classes(self, german):
+        train, test = train_test_split(german, 0.2, seed=0)
+        assert set(np.unique(train.labels)) == {0, 1}
+        assert set(np.unique(test.labels)) == {0, 1}
+
+    def test_deterministic(self, german):
+        a_train, _ = train_test_split(german, 0.2, seed=7)
+        b_train, _ = train_test_split(german, 0.2, seed=7)
+        np.testing.assert_array_equal(a_train.labels, b_train.labels)
+
+    def test_different_seeds_differ(self, german):
+        a_train, _ = train_test_split(german, 0.2, seed=1)
+        b_train, _ = train_test_split(german, 0.2, seed=2)
+        assert not np.array_equal(a_train.labels, b_train.labels)
+
+    def test_no_row_overlap(self, german):
+        train, test = train_test_split(german, 0.3, seed=0)
+        train_rows = {tuple(train.table.row(i).items()) for i in range(min(50, train.num_rows))}
+        # label distribution check: every original row appears exactly once overall
+        assert train.num_rows + test.num_rows == german.num_rows
+        assert len(train_rows) > 0
+
+    def test_invalid_fraction(self, german):
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(german, 1.5)
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(german, 0.0)

@@ -1,0 +1,57 @@
+"""Tests for the generator helper functions in repro.datasets._synth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets._synth import bernoulli, categorical, sigmoid
+from repro.utils.rng import ensure_rng
+
+
+class TestSigmoid:
+    def test_matches_definition(self):
+        z = np.linspace(-5, 5, 21)
+        np.testing.assert_allclose(sigmoid(z), 1.0 / (1.0 + np.exp(-z)), atol=1e-12)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    def test_symmetry(self):
+        z = np.array([0.3, 1.7, 4.2])
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), np.ones(3), atol=1e-12)
+
+
+class TestBernoulli:
+    def test_rate_tracks_logit(self):
+        rng = ensure_rng(0)
+        draws = bernoulli(np.full(20000, 1.0), rng)
+        assert draws.mean() == pytest.approx(sigmoid(np.array([1.0]))[0], abs=0.02)
+
+    def test_extreme_logits_deterministic(self):
+        rng = ensure_rng(0)
+        assert bernoulli(np.full(100, 50.0), rng).all()
+        assert not bernoulli(np.full(100, -50.0), rng).any()
+
+    def test_binary_int_output(self):
+        rng = ensure_rng(1)
+        draws = bernoulli(np.zeros(50), rng)
+        assert draws.dtype == np.int64
+        assert set(np.unique(draws)) <= {0, 1}
+
+
+class TestCategorical:
+    def test_respects_probabilities(self):
+        rng = ensure_rng(2)
+        draws = categorical(rng, 20000, ["a", "b"], [0.8, 0.2])
+        assert (draws == "a").mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_normalizes_weights(self):
+        rng = ensure_rng(3)
+        draws = categorical(rng, 1000, ["x", "y"], [2.0, 2.0])
+        assert 0.4 < (draws == "x").mean() < 0.6
+
+    def test_output_length(self):
+        rng = ensure_rng(4)
+        assert len(categorical(rng, 17, ["a"], [1.0])) == 17

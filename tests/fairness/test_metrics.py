@@ -1,0 +1,183 @@
+"""Tests for repro.fairness.metrics (hard values and orientation)."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import (
+    EqualOpportunity,
+    FairnessContext,
+    PredictiveParity,
+    StatisticalParity,
+    get_metric,
+    list_metrics,
+)
+from repro.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def biased_setup():
+    """A model that is biased against the protected group *by construction*.
+
+    Feature 0 is the (centered) group indicator and strongly drives the
+    label, so the fitted model predicts favorably for the privileged group.
+    """
+    rng = np.random.default_rng(0)
+    n = 600
+    privileged = rng.random(n) < 0.5
+    X = np.column_stack(
+        [privileged.astype(float) - 0.5, rng.normal(size=n), rng.normal(size=n)]
+    )
+    logits = 2.5 * X[:, 0] + 0.8 * X[:, 1]
+    y = (logits + rng.normal(scale=0.5, size=n) > 0).astype(np.int64)
+    model = LogisticRegression(l2_reg=1e-3).fit(X, y)
+    ctx = FairnessContext(X=X, y=y, privileged=privileged, favorable_label=1)
+    return model, ctx
+
+
+class TestContextValidation:
+    def test_requires_both_groups(self):
+        X = np.zeros((4, 2))
+        y = np.array([0, 1, 0, 1])
+        with pytest.raises(ValueError, match="non-empty"):
+            FairnessContext(X, y, np.ones(4, dtype=bool))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="first dimension"):
+            FairnessContext(np.zeros((4, 2)), np.array([0, 1]), np.array([True, False]))
+
+    def test_invalid_favorable_label(self):
+        X = np.zeros((2, 1))
+        with pytest.raises(ValueError, match="favorable_label"):
+            FairnessContext(X, np.array([0, 1]), np.array([True, False]), favorable_label=3)
+
+    def test_favorable_true_mask(self):
+        X = np.zeros((2, 1))
+        ctx = FairnessContext(X, np.array([0, 1]), np.array([True, False]), favorable_label=0)
+        np.testing.assert_array_equal(ctx.favorable_true, [True, False])
+
+
+class TestRegistry:
+    def test_list_metrics(self):
+        assert list_metrics() == [
+            "average_odds",
+            "equal_opportunity",
+            "predictive_parity",
+            "statistical_parity",
+        ]
+
+    def test_get_metric_instances(self):
+        assert isinstance(get_metric("statistical_parity"), StatisticalParity)
+        assert isinstance(get_metric("equal_opportunity"), EqualOpportunity)
+        assert isinstance(get_metric("predictive_parity"), PredictiveParity)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("nope")
+
+
+class TestOrientation:
+    """Positive value = bias against the protected group, for every metric."""
+
+    @pytest.mark.parametrize("name", ["statistical_parity", "equal_opportunity"])
+    def test_biased_model_positive(self, biased_setup, name):
+        model, ctx = biased_setup
+        assert get_metric(name).value(model, ctx) > 0.1
+
+    def test_statistical_parity_formula(self, biased_setup):
+        model, ctx = biased_setup
+        pred = model.predict(ctx.X)
+        priv = ctx.privileged
+        expected = pred[priv].mean() - pred[~priv].mean()
+        assert get_metric("statistical_parity").value(model, ctx) == pytest.approx(expected)
+
+    def test_equal_opportunity_formula(self, biased_setup):
+        model, ctx = biased_setup
+        pred = model.predict(ctx.X)
+        qual = ctx.y == 1
+        priv = ctx.privileged
+        expected = pred[qual & priv].mean() - pred[qual & ~priv].mean()
+        assert get_metric("equal_opportunity").value(model, ctx) == pytest.approx(expected)
+
+    def test_predictive_parity_formula(self, biased_setup):
+        model, ctx = biased_setup
+        pred = model.predict(ctx.X)
+        priv = ctx.privileged
+
+        def ppv(mask):
+            sel = mask & (pred == 1)
+            return ctx.y[sel].mean()
+
+        expected = ppv(priv) - ppv(~priv)
+        assert get_metric("predictive_parity").value(model, ctx) == pytest.approx(
+            expected, abs=1e-6
+        )
+
+    def test_flipped_favorable_label_flips_orientation(self, biased_setup):
+        model, ctx = biased_setup
+        flipped = FairnessContext(ctx.X, ctx.y, ctx.privileged, favorable_label=0)
+        sp = get_metric("statistical_parity")
+        assert sp.value(model, flipped) == pytest.approx(-sp.value(model, ctx))
+
+    def test_fair_predictor_near_zero(self):
+        rng = np.random.default_rng(1)
+        n = 4000
+        privileged = rng.random(n) < 0.5
+        X = rng.normal(size=(n, 3))  # features independent of the group
+        y = (X[:, 0] > 0).astype(np.int64)
+        model = LogisticRegression(l2_reg=1e-3).fit(X, y)
+        ctx = FairnessContext(X, y, privileged)
+        assert abs(get_metric("statistical_parity").value(model, ctx)) < 0.05
+
+
+class TestAverageOdds:
+    def test_biased_model_positive(self, biased_setup):
+        model, ctx = biased_setup
+        assert get_metric("average_odds").value(model, ctx) > 0.05
+
+    def test_is_mean_of_tpr_and_fpr_gaps(self, biased_setup):
+        model, ctx = biased_setup
+        pred = model.predict(ctx.X)
+        priv = ctx.privileged
+
+        def gap(label):
+            mask = ctx.y == label
+            return pred[mask & priv].mean() - pred[mask & ~priv].mean()
+
+        expected = 0.5 * (gap(1) + gap(0))
+        assert get_metric("average_odds").value(model, ctx) == pytest.approx(expected)
+
+    def test_undefined_when_group_empty_under_label(self, biased_setup):
+        model, _ = biased_setup
+        X = np.zeros((4, 3))
+        y = np.array([1, 1, 0, 0])
+        privileged = np.array([True, True, False, False])
+        ctx = FairnessContext(X, y, privileged)
+        with pytest.raises(ValueError, match="undefined"):
+            get_metric("average_odds").value(model, ctx)
+
+    def test_gradient_matches_finite_differences(self, biased_setup):
+        model, ctx = biased_setup
+        metric = get_metric("average_odds")
+        theta = model.theta
+        analytic = metric.grad_theta(model, ctx)
+        eps = 1e-6
+        numeric = np.zeros_like(theta)
+        for k in range(len(theta)):
+            step = np.zeros_like(theta)
+            step[k] = eps
+            numeric[k] = (
+                metric.surrogate(model, ctx, theta + step)
+                - metric.surrogate(model, ctx, theta - step)
+            ) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6, rtol=1e-4)
+
+
+class TestEqualOpportunityEdgeCases:
+    def test_undefined_without_favorable_rows(self, biased_setup):
+        model, _ = biased_setup
+        X = np.zeros((4, 3))
+        y = np.array([1, 1, 0, 0])
+        privileged = np.array([True, True, False, False])
+        ctx = FairnessContext(X, y, privileged)  # protected group has no y=1
+        with pytest.raises(ValueError, match="undefined"):
+            get_metric("equal_opportunity").value(model, ctx)

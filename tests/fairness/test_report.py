@@ -1,0 +1,56 @@
+"""Tests for repro.fairness.report."""
+
+import numpy as np
+
+from repro.fairness import FairnessContext, fairness_report
+from repro.models import LogisticRegression
+
+
+def _setup(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    privileged = rng.random(n) < 0.5
+    X = np.column_stack([privileged.astype(float) - 0.5, rng.normal(size=n)])
+    y = ((X[:, 0] + X[:, 1]) > 0).astype(np.int64)
+    model = LogisticRegression().fit(X, y)
+    return model, FairnessContext(X=X, y=y, privileged=privileged)
+
+
+class TestFairnessReport:
+    def test_contains_all_metrics(self):
+        model, ctx = _setup()
+        report = fairness_report(model, ctx)
+        assert set(report.metrics) == {
+            "statistical_parity",
+            "equal_opportunity",
+            "predictive_parity",
+            "average_odds",
+        }
+
+    def test_accuracy_matches_model(self):
+        model, ctx = _setup()
+        report = fairness_report(model, ctx)
+        assert report.accuracy == model.accuracy(ctx.X, ctx.y)
+
+    def test_render_mentions_every_metric(self):
+        model, ctx = _setup()
+        text = fairness_report(model, ctx).render()
+        assert "accuracy" in text
+        assert "statistical_parity" in text
+        assert str(fairness_report(model, ctx)) == text
+
+    def test_undefined_metric_reported_as_nan(self):
+        model, _ = _setup()
+        # Protected group has no favorable-label rows -> EO undefined.
+        X = np.zeros((4, 2))
+        y = np.array([1, 1, 0, 0])
+        privileged = np.array([True, True, False, False])
+        ctx = FairnessContext(X, y, privileged)
+        report = fairness_report(model, ctx)
+        assert np.isnan(report.metrics["equal_opportunity"])
+
+    def test_custom_theta(self):
+        model, ctx = _setup()
+        report_zero = fairness_report(model, ctx, np.zeros(model.num_params))
+        # With all-zero parameters every prediction is the same class, so
+        # statistical parity vanishes.
+        assert report_zero.metrics["statistical_parity"] == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the smooth fairness surrogates and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import FairnessContext, get_metric, list_metrics
+from repro.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(2)
+    n = 400
+    privileged = rng.random(n) < 0.5
+    X = np.column_stack(
+        [privileged.astype(float) - 0.5, rng.normal(size=n), rng.normal(size=n)]
+    )
+    y = ((2.0 * X[:, 0] + X[:, 1] + rng.normal(scale=0.5, size=n)) > 0).astype(np.int64)
+    model = LogisticRegression(l2_reg=1e-3).fit(X, y)
+    ctx = FairnessContext(X=X, y=y, privileged=privileged)
+    return model, ctx
+
+
+class TestSurrogateValues:
+    @pytest.mark.parametrize("name", list_metrics())
+    def test_surrogate_close_to_hard(self, setup, name):
+        model, ctx = setup
+        metric = get_metric(name)
+        # Ratio-of-sums metrics (predictive parity) deviate more under
+        # diffuse probabilities; the sharpening test below is the tight one.
+        tolerance = 0.3 if name == "predictive_parity" else 0.15
+        assert metric.surrogate(model, ctx) == pytest.approx(
+            metric.value(model, ctx), abs=tolerance
+        )
+
+    @pytest.mark.parametrize("name", list_metrics())
+    def test_surrogate_converges_as_logits_sharpen(self, setup, name):
+        """Scaling θ sharpens probabilities toward indicators, so the
+        surrogate must converge to the hard value."""
+        model, ctx = setup
+        metric = get_metric(name)
+        sharp_theta = model.theta * 50.0
+        hard = metric.value(model, ctx, sharp_theta)
+        smooth = metric.surrogate(model, ctx, sharp_theta)
+        assert smooth == pytest.approx(hard, abs=5e-3)
+
+
+class TestSurrogateGradients:
+    @pytest.mark.parametrize("name", list_metrics())
+    def test_grad_matches_finite_differences(self, setup, name):
+        model, ctx = setup
+        metric = get_metric(name)
+        theta = model.theta
+        analytic = metric.grad_theta(model, ctx)
+        eps = 1e-6
+        numeric = np.zeros_like(theta)
+        for k in range(len(theta)):
+            step = np.zeros_like(theta)
+            step[k] = eps
+            numeric[k] = (
+                metric.surrogate(model, ctx, theta + step)
+                - metric.surrogate(model, ctx, theta - step)
+            ) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6, rtol=1e-4)
+
+    def test_grad_nonzero_for_biased_model(self, setup):
+        model, ctx = setup
+        grad = get_metric("statistical_parity").grad_theta(model, ctx)
+        assert np.linalg.norm(grad) > 1e-4
+
+    def test_flipped_favorable_label_flips_gradient(self, setup):
+        model, ctx = setup
+        flipped = FairnessContext(ctx.X, ctx.y, ctx.privileged, favorable_label=0)
+        metric = get_metric("statistical_parity")
+        np.testing.assert_allclose(
+            metric.grad_theta(model, flipped), -metric.grad_theta(model, ctx), atol=1e-12
+        )

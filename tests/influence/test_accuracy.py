@@ -1,0 +1,125 @@
+"""Accuracy of the influence approximations against retraining ground truth.
+
+These tests pin down the *qualitative* claims of the paper's Figure 3:
+second-order group influence tracks ground truth better than first-order,
+which in turn beats one-step gradient descent; and all approximations agree
+with ground truth in sign/scale for moderate subsets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.influence import make_estimator
+
+
+@pytest.fixture(scope="module")
+def estimators(lr_model, X_train, german_train, sp_metric, test_ctx):
+    build = lambda name, **kw: make_estimator(
+        name, lr_model, X_train, german_train.labels, sp_metric, test_ctx, **kw
+    )
+    return {
+        "fo": build("first_order", evaluation="hard"),
+        "so": build("second_order", evaluation="hard"),
+        "so_series": build("second_order", evaluation="hard", variant="series"),
+        "gd": build("one_step_gd"),
+        "rt": build("retrain"),
+    }
+
+
+@pytest.fixture(scope="module")
+def random_subsets(X_train):
+    rng = np.random.default_rng(4)
+    return [
+        rng.choice(len(X_train), size=size, replace=False)
+        for size in (25, 60, 120, 200, 60, 120)
+    ]
+
+
+class TestParameterChangeAccuracy:
+    def test_so_beats_fo_on_params(self, estimators, random_subsets):
+        fo_err, so_err = [], []
+        for idx in random_subsets:
+            gt = estimators["rt"].param_change(idx)
+            fo_err.append(np.linalg.norm(estimators["fo"].param_change(idx) - gt))
+            so_err.append(np.linalg.norm(estimators["so"].param_change(idx) - gt))
+        assert np.mean(so_err) < np.mean(fo_err)
+
+    def test_so_param_change_close_to_ground_truth(self, estimators, random_subsets):
+        for idx in random_subsets[:3]:
+            gt = estimators["rt"].param_change(idx)
+            so = estimators["so"].param_change(idx)
+            rel = np.linalg.norm(so - gt) / max(np.linalg.norm(gt), 1e-12)
+            assert rel < 0.35
+
+    def test_series_variant_close_to_exact(self, estimators, random_subsets):
+        for idx in random_subsets[:3]:
+            exact = estimators["so"].param_change(idx)
+            series = estimators["so_series"].param_change(idx)
+            rel = np.linalg.norm(series - exact) / max(np.linalg.norm(exact), 1e-12)
+            assert rel < 0.25
+
+    def test_fo_direction_correlates_with_ground_truth(self, estimators, random_subsets):
+        for idx in random_subsets[:3]:
+            gt = estimators["rt"].param_change(idx)
+            fo = estimators["fo"].param_change(idx)
+            cos = fo @ gt / (np.linalg.norm(fo) * np.linalg.norm(gt))
+            assert cos > 0.7
+
+    def test_gd_underestimates_magnitude(self, estimators, random_subsets):
+        """One gradient step cannot cover the full Newton-like move."""
+        shorter = 0
+        for idx in random_subsets:
+            gt = np.linalg.norm(estimators["rt"].param_change(idx))
+            gd = np.linalg.norm(estimators["gd"].param_change(idx))
+            shorter += gd < gt
+        assert shorter >= len(random_subsets) - 1
+
+
+class TestBiasChangeAccuracy:
+    def test_figure3_error_ordering(self, estimators, random_subsets):
+        """The headline of Figure 3: SO < FO and SO < one-step GD on average."""
+        errors = {k: [] for k in ("fo", "so", "gd")}
+        for idx in random_subsets:
+            gt = estimators["rt"].bias_change(idx)
+            for key in errors:
+                errors[key].append(abs(estimators[key].bias_change(idx) - gt))
+        assert np.mean(errors["so"]) < np.mean(errors["fo"])
+        assert np.mean(errors["so"]) < np.mean(errors["gd"])
+
+    def test_so_error_small_in_absolute_terms(self, estimators, random_subsets):
+        errs = [
+            abs(estimators["so"].bias_change(idx) - estimators["rt"].bias_change(idx))
+            for idx in random_subsets
+        ]
+        assert np.mean(errs) < 0.02  # the paper's Figure 3 y-axis scale
+
+    def test_single_point_removal_tiny_effect(self, estimators):
+        change = estimators["so"].bias_change(np.array([0]))
+        assert abs(change) < 0.02
+
+    def test_retrain_is_self_consistent(self, estimators, X_train):
+        """Retraining twice on the same subset gives identical answers."""
+        idx = np.arange(30)
+        assert estimators["rt"].bias_change(idx) == pytest.approx(
+            estimators["rt"].bias_change(idx)
+        )
+
+
+class TestCoherentSubsets:
+    def test_planted_bias_subset_reduces_bias(self, estimators, german_train):
+        """Removing the planted old-female subgroup must reduce bias under
+        ground truth *and* both influence approximations."""
+        age = np.asarray(german_train.table.column("age").values)
+        gender = np.asarray(german_train.table.column("gender").values, dtype=object)
+        idx = np.flatnonzero((age >= 45) & (gender == "Female"))
+        assert estimators["rt"].bias_change(idx) < 0
+        assert estimators["fo"].bias_change(idx) < 0
+        assert estimators["so"].bias_change(idx) < 0
+
+    def test_helping_vs_hurting_subsets_ordered(self, estimators, fo_estimator):
+        """Ground truth must rank a bias-reducing subset below (more
+        negative ΔF than) a bias-increasing one identified by FO influence."""
+        infl = fo_estimator.point_influences()
+        helping = np.argsort(infl)[:40]   # removal reduces bias most
+        hurting = np.argsort(infl)[-40:]  # removal increases bias most
+        assert estimators["rt"].bias_change(helping) < estimators["rt"].bias_change(hurting)

@@ -1,0 +1,87 @@
+"""Tests for the estimator interface, factory, and shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.influence import make_estimator
+from repro.influence.estimators import InfluenceEstimator
+from repro.models import LogisticRegression
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["first_order", "second_order", "one_step_gd", "retrain"]
+    )
+    def test_builds_each_estimator(
+        self, name, lr_model, X_train, german_train, sp_metric, test_ctx
+    ):
+        est = make_estimator(name, lr_model, X_train, german_train.labels, sp_metric, test_ctx)
+        assert isinstance(est, InfluenceEstimator)
+
+    def test_unknown_name(self, lr_model, X_train, german_train, sp_metric, test_ctx):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            make_estimator("nope", lr_model, X_train, german_train.labels, sp_metric, test_ctx)
+
+    def test_unfitted_model_rejected(self, X_train, german_train, sp_metric, test_ctx):
+        with pytest.raises(ValueError, match="fitted"):
+            make_estimator(
+                "first_order",
+                LogisticRegression(),
+                X_train,
+                german_train.labels,
+                sp_metric,
+                test_ctx,
+            )
+
+    def test_invalid_evaluation_mode(self, lr_model, X_train, german_train, sp_metric, test_ctx):
+        with pytest.raises(ValueError, match="evaluation"):
+            make_estimator(
+                "first_order",
+                lr_model,
+                X_train,
+                german_train.labels,
+                sp_metric,
+                test_ctx,
+                evaluation="bogus",
+            )
+
+
+class TestSharedPlumbing:
+    def test_original_bias_matches_metric(self, fo_estimator, lr_model, sp_metric, test_ctx):
+        assert fo_estimator.original_bias == pytest.approx(sp_metric.value(lr_model, test_ctx))
+
+    def test_boolean_mask_equivalent_to_indices(self, fo_estimator):
+        mask = np.zeros(fo_estimator.num_train, dtype=bool)
+        mask[[3, 10, 42]] = True
+        assert fo_estimator.bias_change(mask) == pytest.approx(
+            fo_estimator.bias_change(np.array([3, 10, 42]))
+        )
+
+    def test_out_of_range_indices(self, fo_estimator):
+        with pytest.raises(IndexError):
+            fo_estimator.bias_change(np.array([fo_estimator.num_train + 5]))
+
+    def test_wrong_mask_length(self, fo_estimator):
+        with pytest.raises(ValueError, match="mask length"):
+            fo_estimator.bias_change(np.zeros(3, dtype=bool))
+
+    def test_cannot_remove_everything(self, fo_estimator):
+        with pytest.raises(ValueError, match="entire"):
+            fo_estimator.bias_change(np.arange(fo_estimator.num_train))
+
+    def test_subset_grad_sum_matches_manual(self, fo_estimator):
+        idx = np.array([0, 5, 9])
+        manual = fo_estimator.per_sample_grads[idx].sum(axis=0)
+        np.testing.assert_allclose(fo_estimator.subset_grad_sum(idx), manual)
+
+    def test_responsibility_sign_convention(self, fo_estimator):
+        """A subset whose removal reduces bias has positive responsibility."""
+        infl = fo_estimator.point_influences()
+        helping = np.argsort(infl)[:30]  # most bias-reducing points
+        assert fo_estimator.responsibility(helping) > 0
+
+    def test_grad_f_cached(self, fo_estimator):
+        assert fo_estimator.grad_f is fo_estimator.grad_f
+
+    def test_per_sample_grads_cached(self, fo_estimator):
+        assert fo_estimator.per_sample_grads is fo_estimator.per_sample_grads

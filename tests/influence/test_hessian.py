@@ -1,0 +1,70 @@
+"""Tests for repro.influence.hessian."""
+
+import numpy as np
+import pytest
+
+from repro.influence.hessian import HessianSolver, conjugate_gradient_solve
+
+
+@pytest.fixture
+def spd_matrix():
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(8, 8))
+    return A @ A.T + 0.5 * np.eye(8)
+
+
+class TestHessianSolver:
+    def test_solves_exactly(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        b = np.arange(8.0)
+        x = solver.solve(b)
+        np.testing.assert_allclose(spd_matrix @ x, b, atol=1e-8)
+
+    def test_solve_stacked_vectors(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        B = np.random.default_rng(1).normal(size=(8, 3))
+        X = solver.solve(B)
+        np.testing.assert_allclose(spd_matrix @ X, B, atol=1e-8)
+
+    def test_no_damping_when_pd(self, spd_matrix):
+        assert HessianSolver(spd_matrix).damping_used == 0.0
+
+    def test_damping_applied_to_singular(self):
+        singular = np.zeros((4, 4))
+        solver = HessianSolver(singular)
+        assert solver.damping_used > 0
+        x = solver.solve(np.ones(4))
+        assert np.isfinite(x).all()
+
+    def test_apply_is_inverse_of_solve(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        b = np.random.default_rng(2).normal(size=8)
+        np.testing.assert_allclose(solver.apply(solver.solve(b)), b, atol=1e-8)
+
+    def test_apply_includes_damping(self):
+        solver = HessianSolver(np.zeros((3, 3)))
+        x = np.ones(3)
+        np.testing.assert_allclose(solver.apply(solver.solve(x)), x, atol=1e-8)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            HessianSolver(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        M = np.array([[1.0, 2.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            HessianSolver(M)
+
+
+class TestConjugateGradient:
+    def test_matches_direct_solve(self, spd_matrix):
+        b = np.arange(8.0)
+        direct = np.linalg.solve(spd_matrix, b)
+        cg = conjugate_gradient_solve(lambda v: spd_matrix @ v, b, dim=8)
+        np.testing.assert_allclose(cg, direct, atol=1e-6)
+
+    def test_nonconvergence_raises(self, spd_matrix):
+        with pytest.raises(RuntimeError, match="converge"):
+            conjugate_gradient_solve(
+                lambda v: spd_matrix @ v, np.ones(8), dim=8, tol=1e-14, max_iter=1
+            )

@@ -1,0 +1,107 @@
+"""Failure-injection tests: the degradations DESIGN.md promises we handle."""
+
+import numpy as np
+import pytest
+
+from repro.core import GopherExplainer
+from repro.datasets import Dataset, ProtectedGroup, load_german, train_test_split
+from repro.fairness import FairnessContext, get_metric
+from repro.influence import FirstOrderInfluence
+from repro.models import LogisticRegression
+from repro.tabular import Table
+
+
+class TestZeroBias:
+    def test_responsibility_undefined_when_unbiased(self):
+        """A perfectly unbiased model has F = 0; Def. 3.2 divides by it."""
+        rng = np.random.default_rng(0)
+        n = 200
+        X = rng.normal(size=(n, 3))
+        y = (X[:, 0] > 0).astype(np.int64)
+        # Groups split so predictions are exactly balanced by construction.
+        privileged = np.arange(n) % 2 == 0
+        model = LogisticRegression(l2_reg=1e-3).fit(X, y)
+        ctx = FairnessContext(X, y, privileged)
+        metric = get_metric("statistical_parity")
+        estimator = FirstOrderInfluence(model, X, y, metric, ctx)
+        if estimator.original_bias == 0.0:
+            with pytest.raises(ZeroDivisionError):
+                estimator.responsibility(np.arange(5))
+        else:  # sampling made it slightly nonzero: responsibility is finite
+            assert np.isfinite(estimator.responsibility(np.arange(5)))
+
+
+class TestSingularHessian:
+    def test_duplicate_features_handled_by_damping(self):
+        """Duplicated columns + zero regularization make H singular; the
+        solver must fall back to damping instead of crashing."""
+        rng = np.random.default_rng(1)
+        n = 150
+        base = rng.normal(size=(n, 2))
+        X = np.hstack([base, base[:, :1]])  # third column duplicates the first
+        y = (base[:, 0] > 0).astype(np.int64)
+        privileged = rng.random(n) < 0.5
+        model = LogisticRegression(l2_reg=0.0, max_iter=200).fit(X, y)
+        ctx = FairnessContext(X, y, privileged)
+        estimator = FirstOrderInfluence(
+            model, X, y, get_metric("statistical_parity"), ctx
+        )
+        change = estimator.bias_change(np.arange(10))
+        assert np.isfinite(change)
+        assert estimator.solver.damping_used >= 0.0
+
+
+class TestDegenerateSearchInputs:
+    def test_no_candidates_above_threshold(self):
+        """An impossible support threshold yields an empty explanation set,
+        not an exception."""
+        train, test = train_test_split(load_german(400, seed=11), 0.25, seed=1)
+        gopher = GopherExplainer(
+            LogisticRegression(l2_reg=1e-3),
+            estimator="first_order",
+            support_threshold=0.99,
+            max_predicates=2,
+        )
+        gopher.fit(train, test)
+        result = gopher.explain(k=3, verify=False)
+        assert len(result) == 0
+        assert result.render()  # still renders a header
+
+    def test_constant_feature_column(self):
+        """A constant column produces no thresholds and one full-support
+        equality predicate; the pipeline must survive it."""
+        rng = np.random.default_rng(2)
+        n = 300
+        group = rng.choice(["a", "b"], size=n)
+        signal = rng.normal(size=n)
+        y = ((group == "a") * 0.8 + signal > 0.4).astype(np.int64)
+        table = Table.from_dict(
+            {
+                "group": group,
+                "signal": signal,
+                "constant": np.full(n, 7.0),
+            }
+        )
+        data = Dataset("toy", table, y, ProtectedGroup("group", privileged_category="a"))
+        train, test = train_test_split(data, 0.25, seed=0)
+        gopher = GopherExplainer(
+            LogisticRegression(l2_reg=1e-3),
+            estimator="first_order",
+            max_predicates=2,
+            support_threshold=0.05,
+        )
+        gopher.fit(train, test)
+        result = gopher.explain(k=2, verify=False)
+        assert isinstance(len(result), int)
+
+    def test_tiny_k_larger_than_candidates(self):
+        train, test = train_test_split(load_german(400, seed=11), 0.25, seed=1)
+        gopher = GopherExplainer(
+            LogisticRegression(l2_reg=1e-3),
+            estimator="first_order",
+            support_threshold=0.4,
+            max_predicates=1,
+        )
+        gopher.fit(train, test)
+        result = gopher.explain(k=50, verify=False)
+        assert len(result) <= 50  # returns what exists, no error

@@ -1,0 +1,73 @@
+"""Tests for repro.models.svm."""
+
+import numpy as np
+import pytest
+
+from repro.models import LinearSVM
+
+
+class TestFitPredict:
+    def test_learns_separable_problem(self, tiny_xy):
+        X, y = tiny_xy
+        model = LinearSVM(l2_reg=1e-2).fit(X, y)
+        assert model.accuracy(X, y) > 0.85
+
+    def test_gradient_near_zero_at_optimum(self, tiny_xy):
+        X, y = tiny_xy
+        model = LinearSVM(l2_reg=1e-2).fit(X, y)
+        assert np.linalg.norm(model.grad(X, y)) < 1e-5
+
+    def test_decision_function_sign_matches_prediction(self, tiny_xy):
+        X, y = tiny_xy
+        model = LinearSVM().fit(X, y)
+        decisions = model.decision_function(X)
+        np.testing.assert_array_equal(model.predict(X), (decisions >= 0).astype(int))
+
+    def test_proba_is_monotone_in_margin(self, tiny_xy):
+        X, y = tiny_xy
+        model = LinearSVM().fit(X, y)
+        margins = model.decision_function(X)
+        proba = model.predict_proba(X)
+        order = np.argsort(margins)
+        assert (np.diff(proba[order]) >= -1e-12).all()
+
+    def test_loss_zero_when_margins_large(self):
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1, 0])
+        model = LinearSVM(l2_reg=0.0)
+        model._num_features = 1
+        theta = np.array([10.0, 0.0])
+        losses = model.per_sample_losses(X, y, theta)
+        np.testing.assert_allclose(losses, 0.0, atol=1e-12)
+
+    def test_squared_hinge_penalizes_violations(self):
+        X = np.array([[1.0]])
+        y = np.array([1])
+        model = LinearSVM(l2_reg=0.0)
+        model._num_features = 1
+        loss_correct = model.per_sample_losses(X, y, np.array([2.0, 0.0]))[0]
+        loss_wrong = model.per_sample_losses(X, y, np.array([-2.0, 0.0]))[0]
+        assert loss_wrong > loss_correct
+
+    def test_clone(self):
+        clone = LinearSVM(l2_reg=0.3, max_iter=42).clone()
+        assert clone.theta is None
+        assert clone.l2_reg == 0.3
+        assert clone.max_iter == 42
+
+
+class TestValidation:
+    def test_negative_reg_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearSVM(l2_reg=-0.1)
+
+    def test_unfitted_raises(self, tiny_xy):
+        X, _ = tiny_xy
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LinearSVM().decision_function(X)
+
+    def test_hessian_positive_definite_with_reg(self, tiny_xy):
+        X, y = tiny_xy
+        model = LinearSVM(l2_reg=1e-2).fit(X, y)
+        eigenvalues = np.linalg.eigvalsh(model.hessian(X, y))
+        assert eigenvalues.min() > 0

@@ -1,0 +1,99 @@
+"""Tests for repro.patterns.predicate."""
+
+import numpy as np
+import pytest
+
+from repro.patterns import Predicate
+from repro.tabular import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict(
+        {
+            "age": [20.0, 45.0, 60.0],
+            "gender": ["F", "M", "F"],
+        }
+    )
+
+
+class TestMask:
+    def test_categorical_equality(self, table):
+        np.testing.assert_array_equal(
+            Predicate("gender", "=", "F").mask(table), [True, False, True]
+        )
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("<", 45.0, [True, False, False]),
+            ("<=", 45.0, [True, True, False]),
+            (">", 45.0, [False, False, True]),
+            (">=", 45.0, [False, True, True]),
+            ("=", 45.0, [False, True, False]),
+        ],
+    )
+    def test_numeric_ops(self, table, op, value, expected):
+        np.testing.assert_array_equal(Predicate("age", op, value).mask(table), expected)
+
+    def test_categorical_inequality_rejected(self, table):
+        with pytest.raises(ValueError, match="'=' only"):
+            Predicate("gender", "<", "F").mask(table)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unsupported operator"):
+            Predicate("age", "!=", 5)
+
+
+class TestConflicts:
+    def test_different_features_never_conflict(self):
+        assert not Predicate("a", "=", 1).conflicts_with(Predicate("b", "=", 99))
+
+    def test_categorical_equality_conflict(self):
+        a = Predicate("gender", "=", "F")
+        b = Predicate("gender", "=", "M")
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(Predicate("gender", "=", "F"))
+
+    def test_numeric_disjoint_intervals(self):
+        assert Predicate("age", "<", 30.0).conflicts_with(Predicate("age", ">", 40.0))
+        assert Predicate("age", ">=", 45.0).conflicts_with(Predicate("age", "<", 45.0))
+
+    def test_numeric_touching_closed_intervals_ok(self):
+        assert not Predicate("age", "<=", 45.0).conflicts_with(Predicate("age", ">=", 45.0))
+
+    def test_numeric_touching_open_conflicts(self):
+        assert Predicate("age", "<", 45.0).conflicts_with(Predicate("age", ">=", 45.0))
+
+    def test_equality_inside_interval_ok(self):
+        assert not Predicate("age", "=", 40.0).conflicts_with(Predicate("age", "<", 45.0))
+
+    def test_equality_outside_interval_conflicts(self):
+        assert Predicate("age", "=", 50.0).conflicts_with(Predicate("age", "<", 45.0))
+
+    def test_overlapping_intervals_ok(self):
+        assert not Predicate("age", ">", 20.0).conflicts_with(Predicate("age", "<", 40.0))
+
+    def test_symmetry(self):
+        a, b = Predicate("age", "<", 30.0), Predicate("age", ">", 40.0)
+        assert a.conflicts_with(b) == b.conflicts_with(a)
+
+
+class TestDisplay:
+    def test_str_integral_value(self):
+        assert str(Predicate("age", ">=", 45.0)) == "age >= 45"
+
+    def test_str_fractional_value(self):
+        assert str(Predicate("x", "<", 2.5)) == "x < 2.5"
+
+    def test_str_categorical(self):
+        assert str(Predicate("gender", "=", "Female")) == "gender = Female"
+
+    def test_hashable_and_equal(self):
+        assert Predicate("a", "=", 1) == Predicate("a", "=", 1)
+        assert len({Predicate("a", "=", 1), Predicate("a", "=", 1)}) == 1
+
+    def test_sort_key_total_order(self):
+        preds = [Predicate("b", "=", 1), Predicate("a", ">", 2), Predicate("a", "<", 2)]
+        ordered = sorted(preds, key=lambda p: p.sort_key())
+        assert ordered[0].feature == "a"

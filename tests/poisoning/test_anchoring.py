@@ -1,0 +1,94 @@
+"""Tests for the anchoring data-poisoning attack."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TabularEncoder, load_german, train_test_split
+from repro.fairness import FairnessContext, get_metric
+from repro.models import LogisticRegression
+from repro.poisoning import AnchoringAttack
+
+
+@pytest.fixture(scope="module")
+def clean_train():
+    ds = load_german(800, seed=11)
+    train, _ = train_test_split(ds, 0.25, seed=1)
+    return train
+
+
+@pytest.fixture(scope="module")
+def poisoned(clean_train):
+    return AnchoringAttack(poison_fraction=0.1, seed=5).poison(clean_train)
+
+
+class TestAttackMechanics:
+    def test_budget_respected(self, clean_train, poisoned):
+        expected = round(0.1 * clean_train.num_rows)
+        assert poisoned.num_poisoned == pytest.approx(expected, abs=1)
+
+    def test_clean_rows_first(self, clean_train, poisoned):
+        assert not poisoned.is_poisoned[: clean_train.num_rows].any()
+        assert poisoned.is_poisoned[clean_train.num_rows:].all()
+
+    def test_labels_adversarial(self, clean_train, poisoned):
+        """Protected-group poison gets the unfavorable label, privileged
+        poison the favorable one."""
+        ds = poisoned.dataset
+        poisoned_rows = np.flatnonzero(poisoned.is_poisoned)
+        privileged = ds.privileged_mask()[poisoned_rows]
+        labels = ds.labels[poisoned_rows]
+        fav = ds.favorable_label
+        assert (labels[privileged] == fav).all()
+        assert (labels[~privileged] == (1 - fav)).all()
+
+    def test_poison_within_feature_domain(self, clean_train, poisoned):
+        """Jittered copies stay inside the clean data's numeric ranges."""
+        for name in clean_train.table.column_names:
+            if not clean_train.table.is_numeric(name):
+                continue
+            clean_vals = np.asarray(clean_train.table.column(name).values)
+            all_vals = np.asarray(poisoned.dataset.table.column(name).values)
+            assert all_vals.min() >= clean_vals.min() - 1e-9
+            assert all_vals.max() <= clean_vals.max() + 1e-9
+
+    def test_deterministic(self, clean_train):
+        a = AnchoringAttack(poison_fraction=0.05, seed=9).poison(clean_train)
+        b = AnchoringAttack(poison_fraction=0.05, seed=9).poison(clean_train)
+        np.testing.assert_array_equal(a.dataset.labels, b.dataset.labels)
+
+    def test_random_mode(self, clean_train):
+        out = AnchoringAttack(poison_fraction=0.05, anchor_mode="random", seed=3).poison(
+            clean_train
+        )
+        assert out.num_poisoned > 0
+
+
+class TestAttackEffect:
+    def test_bias_worsens(self, clean_train, poisoned):
+        """Training on contaminated data must increase the fairness gap."""
+        metric = get_metric("statistical_parity")
+        _, test = train_test_split(load_german(800, seed=11), 0.25, seed=1)
+
+        def bias_of(train):
+            enc = TabularEncoder().fit(train.table)
+            model = LogisticRegression(1e-3).fit(enc.transform(train.table), train.labels)
+            ctx = FairnessContext(
+                enc.transform(test.table), test.labels, test.privileged_mask(), 1
+            )
+            return metric.value(model, ctx)
+
+        assert bias_of(poisoned.dataset) > bias_of(clean_train)
+
+
+class TestValidation:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="poison_fraction"):
+            AnchoringAttack(poison_fraction=0.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="anchor_mode"):
+            AnchoringAttack(anchor_mode="bogus")
+
+    def test_invalid_anchors(self):
+        with pytest.raises(ValueError, match="num_anchors"):
+            AnchoringAttack(num_anchors=0)

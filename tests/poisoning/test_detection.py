@@ -1,0 +1,95 @@
+"""Tests for influence-ranked cluster detection (§6.7)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import local_outlier_factor
+from repro.datasets import TabularEncoder, load_german, train_test_split
+from repro.fairness import FairnessContext, get_metric
+from repro.influence import make_estimator
+from repro.models import LogisticRegression
+from repro.poisoning import AnchoringAttack, rank_clusters_by_influence
+
+
+@pytest.fixture(scope="module")
+def detection_setup():
+    """Poisoned mildly-biased German + SO estimator on the poisoned model."""
+    ds = load_german(800, seed=1, bias_strength=0.3)
+    train, test = train_test_split(ds, 0.25, seed=1)
+    poisoned = AnchoringAttack(poison_fraction=0.1, num_anchors=5, seed=5).poison(train)
+    encoder = TabularEncoder().fit(poisoned.dataset.table)
+    X = encoder.transform(poisoned.dataset.table)
+    model = LogisticRegression(1e-3).fit(X, poisoned.dataset.labels)
+    ctx = FairnessContext(
+        encoder.transform(test.table), test.labels, test.privileged_mask(), 1
+    )
+    estimator = make_estimator(
+        "second_order", model, X, poisoned.dataset.labels,
+        get_metric("statistical_parity"), ctx,
+    )
+    return X, estimator, poisoned
+
+
+class TestDetection:
+    def test_gmm_top2_concentrates_poison(self, detection_setup):
+        """The §6.7 claim: top-2 influence-ranked clusters hold most poison."""
+        X, estimator, poisoned = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=8, method="gmm", seed=0)
+        assert report.fraction_in_top(poisoned.is_poisoned, 2) > 0.6
+
+    def test_beats_random_baseline(self, detection_setup):
+        X, estimator, poisoned = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=8, method="gmm", seed=0)
+        top2 = report.top_clusters(2)
+        budget_fraction = sum(report.sizes[c] for c in top2) / len(X)
+        recall = report.fraction_in_top(poisoned.is_poisoned, 2)
+        assert recall > 2.0 * budget_fraction  # far better than random flagging
+
+    def test_lof_fails(self, detection_setup):
+        """The paper's negative result: LOF finds (almost) none of the poison."""
+        X, _, poisoned = detection_setup
+        lof = local_outlier_factor(X, n_neighbors=20)
+        flagged = np.zeros(len(X), dtype=bool)
+        flagged[np.argsort(-lof)[: poisoned.num_poisoned]] = True
+        recall = (flagged & poisoned.is_poisoned).sum() / poisoned.num_poisoned
+        assert recall < 0.1
+
+    def test_kmeans_method(self, detection_setup):
+        X, estimator, poisoned = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=8, method="kmeans", seed=0)
+        assert len(report.ranking) == 8
+
+    def test_sizes_account_all_rows(self, detection_setup):
+        X, estimator, _ = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=6, seed=0)
+        assert sum(report.sizes.values()) == len(X)
+
+
+class TestReportInterface:
+    def test_membership_mask(self, detection_setup):
+        X, estimator, _ = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=5, seed=0)
+        mask = report.membership_mask(report.top_clusters(1))
+        assert mask.sum() == report.sizes[report.ranking[0]]
+
+    def test_invalid_j(self, detection_setup):
+        X, estimator, _ = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=5, seed=0)
+        with pytest.raises(ValueError, match="j must be"):
+            report.top_clusters(0)
+
+    def test_empty_target_mask_rejected(self, detection_setup):
+        X, estimator, _ = detection_setup
+        report = rank_clusters_by_influence(X, estimator, n_clusters=5, seed=0)
+        with pytest.raises(ValueError, match="no rows"):
+            report.fraction_in_top(np.zeros(len(X), dtype=bool), 2)
+
+    def test_row_mismatch_rejected(self, detection_setup):
+        X, estimator, _ = detection_setup
+        with pytest.raises(ValueError, match="rows"):
+            rank_clusters_by_influence(X[:10], estimator, n_clusters=3)
+
+    def test_unknown_method(self, detection_setup):
+        X, estimator, _ = detection_setup
+        with pytest.raises(ValueError, match="method"):
+            rank_clusters_by_influence(X, estimator, n_clusters=3, method="dbscan")

@@ -1,0 +1,77 @@
+"""Property-based tests for the tabular encoder and table engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.encoding import TabularEncoder
+from repro.tabular import Table
+
+
+@st.composite
+def mixed_tables(draw):
+    n = draw(st.integers(min_value=3, max_value=30))
+    num = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    cat = draw(st.lists(st.sampled_from(["x", "y", "z"]), min_size=n, max_size=n))
+    return Table.from_dict({"num": num, "cat": cat})
+
+
+class TestEncoderProperties:
+    @given(mixed_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_one_hot_rows_sum_to_one(self, table):
+        encoder = TabularEncoder().fit(table)
+        X = encoder.transform(table)
+        group = encoder.group_for("cat")
+        np.testing.assert_allclose(
+            X[:, group.start:group.stop].sum(axis=1), np.ones(table.num_rows)
+        )
+
+    @given(mixed_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_decode_roundtrips_categories(self, table):
+        encoder = TabularEncoder().fit(table)
+        X = encoder.transform(table)
+        originals = table.column("cat").to_list()
+        for i in range(table.num_rows):
+            assert encoder.decode_row(X[i])["cat"] == originals[i]
+
+    @given(mixed_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_decode_roundtrips_numerics(self, table):
+        encoder = TabularEncoder().fit(table)
+        X = encoder.transform(table)
+        originals = table.column("num").to_list()
+        for i in range(table.num_rows):
+            assert abs(encoder.decode_row(X[i])["num"] - originals[i]) < 1e-6
+
+    @given(mixed_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_idempotent(self, table):
+        encoder = TabularEncoder().fit(table)
+        X = encoder.transform(table)
+        rng = np.random.default_rng(0)
+        perturbed = X + rng.normal(scale=0.4, size=X.shape)
+        once = encoder.project_rows(perturbed)
+        np.testing.assert_allclose(encoder.project_rows(once), once)
+
+    @given(mixed_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_transform_width_constant(self, table):
+        encoder = TabularEncoder().fit(table)
+        X = encoder.transform(table)
+        assert X.shape == (table.num_rows, encoder.num_features)
+
+    @given(mixed_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_table_filter_take_consistency(self, table):
+        mask = np.zeros(table.num_rows, dtype=bool)
+        mask[:: 2] = True
+        a = table.filter(mask)
+        b = table.take(np.flatnonzero(mask))
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,103 @@
+"""Property-based tests on the model family contracts.
+
+Hypothesis drives random parameter vectors and data; the invariants are the
+ones the influence machinery silently relies on everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import LinearSVM, LogisticRegression, NeuralNetwork
+
+_MODELS = {
+    "lr": lambda: LogisticRegression(l2_reg=1e-2),
+    "svm": lambda: LinearSVM(l2_reg=1e-2),
+    "nn": lambda: NeuralNetwork(hidden_units=3, l2_reg=1e-2, seed=0, max_iter=60),
+}
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(80, 3))
+    y = (X[:, 0] - X[:, 1] + rng.normal(scale=0.4, size=80) > 0).astype(np.int64)
+    return {name: factory().fit(X, y) for name, factory in _MODELS.items()}, X, y
+
+
+def thetas(dim):
+    return st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        min_size=dim, max_size=dim,
+    ).map(np.asarray)
+
+
+class TestModelInvariants:
+    @pytest.mark.parametrize("name", list(_MODELS))
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_proba_in_unit_interval_for_any_theta(self, data, fitted, name):
+        models, X, _ = fitted
+        model = models[name]
+        theta = data.draw(thetas(model.num_params))
+        proba = model.predict_proba(X, theta)
+        assert (proba >= 0.0).all() and (proba <= 1.0).all()
+
+    @pytest.mark.parametrize("name", list(_MODELS))
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_loss_finite_and_nonnegative(self, data, fitted, name):
+        models, X, y = fitted
+        model = models[name]
+        theta = data.draw(thetas(model.num_params))
+        losses = model.per_sample_losses(X, y, theta)
+        assert np.isfinite(losses).all()
+        assert (losses >= 0.0).all()
+
+    @pytest.mark.parametrize("name", list(_MODELS))
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_predict_thresholds_proba(self, data, fitted, name):
+        models, X, _ = fitted
+        model = models[name]
+        theta = data.draw(thetas(model.num_params))
+        np.testing.assert_array_equal(
+            model.predict(X, theta), (model.predict_proba(X, theta) >= 0.5).astype(int)
+        )
+
+    @pytest.mark.parametrize("name", list(_MODELS))
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_mean_grad_equals_per_sample_mean(self, data, fitted, name):
+        models, X, y = fitted
+        model = models[name]
+        theta = data.draw(thetas(model.num_params))
+        np.testing.assert_allclose(
+            model.grad(X, y, theta),
+            model.per_sample_grads(X, y, theta).mean(axis=0),
+            atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("name", list(_MODELS))
+    def test_optimum_beats_perturbations(self, fitted, name):
+        models, X, y = fitted
+        model = models[name]
+        base = model.loss(X, y)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            nearby = model.theta + rng.normal(scale=0.05, size=model.num_params)
+            assert model.loss(X, y, nearby) >= base - 1e-9
+
+    @pytest.mark.parametrize("name", list(_MODELS))
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_hessian_psd_for_any_theta(self, data, fitted, name):
+        """All three losses are (locally) convex in θ under our Hessian
+        conventions: logistic and squared hinge exactly, the NN through its
+        Gauss-Newton approximation."""
+        models, X, y = fitted
+        model = models[name]
+        theta = data.draw(thetas(model.num_params))
+        eigenvalues = np.linalg.eigvalsh(model.hessian(X, y, theta))
+        assert eigenvalues.min() > -1e-8

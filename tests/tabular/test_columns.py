@@ -1,0 +1,81 @@
+"""Tests for repro.tabular.columns."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import CategoricalColumn, NumericColumn
+
+
+class TestNumericColumn:
+    def test_length_and_values(self):
+        col = NumericColumn("x", [1, 2, 3])
+        assert len(col) == 3
+        np.testing.assert_array_equal(col.values, [1.0, 2.0, 3.0])
+
+    def test_comparison_masks(self):
+        col = NumericColumn("x", [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(col.less_mask(3), [True, True, False, False])
+        np.testing.assert_array_equal(col.less_equal_mask(3), [True, True, True, False])
+        np.testing.assert_array_equal(col.greater_mask(2), [False, False, True, True])
+        np.testing.assert_array_equal(col.greater_equal_mask(2), [False, True, True, True])
+        np.testing.assert_array_equal(col.equals_mask(2), [False, True, False, False])
+
+    def test_take_preserves_order(self):
+        col = NumericColumn("x", [10.0, 20.0, 30.0])
+        taken = col.take(np.array([2, 0]))
+        np.testing.assert_array_equal(taken.values, [30.0, 10.0])
+
+    def test_distinct_sorted(self):
+        col = NumericColumn("x", [3.0, 1.0, 3.0, 2.0])
+        assert col.distinct() == [1.0, 2.0, 3.0]
+
+    def test_min_max(self):
+        col = NumericColumn("x", [5.0, -1.0, 3.0])
+        assert col.min() == -1.0
+        assert col.max() == 5.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            NumericColumn("x", np.zeros((2, 2)))
+
+
+class TestCategoricalColumn:
+    def test_dictionary_encoding_roundtrip(self):
+        col = CategoricalColumn("c", ["b", "a", "b", "c"])
+        assert col.to_list() == ["b", "a", "b", "c"]
+        assert sorted(col.categories) == ["a", "b", "c"]
+
+    def test_equals_mask(self):
+        col = CategoricalColumn("c", ["x", "y", "x"])
+        np.testing.assert_array_equal(col.equals_mask("x"), [True, False, True])
+
+    def test_equals_mask_missing_value(self):
+        col = CategoricalColumn("c", ["x", "y"])
+        np.testing.assert_array_equal(col.equals_mask("nope"), [False, False])
+
+    def test_distinct_only_present(self):
+        col = CategoricalColumn(
+            "c", codes=np.array([0, 0], dtype=np.int32), categories=["a", "b"]
+        )
+        assert col.distinct() == ["a"]
+
+    def test_take(self):
+        col = CategoricalColumn("c", ["a", "b", "c"])
+        assert col.take(np.array([1])).to_list() == ["b"]
+
+    def test_code_of(self):
+        col = CategoricalColumn("c", ["a", "b"])
+        assert col.code_of("b") == col.categories.index("b")
+        assert col.code_of("zzz") == -1
+
+    def test_codes_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CategoricalColumn("c", codes=np.array([5], dtype=np.int32), categories=["a"])
+
+    def test_requires_values_or_codes(self):
+        with pytest.raises(ValueError, match="values or codes"):
+            CategoricalColumn("c")
+
+    def test_codes_without_categories_rejected(self):
+        with pytest.raises(ValueError, match="categories"):
+            CategoricalColumn("c", codes=np.array([0], dtype=np.int32))

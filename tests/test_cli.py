@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.dataset == "german"
+        assert args.estimator == "second_order"
+        assert args.k == 3
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--dataset", "nope"])
+
+    def test_metric_choices(self):
+        args = build_parser().parse_args(["report", "--metric", "equal_opportunity"])
+        assert args.metric == "equal_opportunity"
+
+
+class TestCommands:
+    def test_report_runs(self, capsys):
+        code = main(["report", "--dataset", "german", "--rows", "400", "--seed", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "statistical_parity" in out
+
+    def test_explain_runs(self, capsys):
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+                "--estimator", "first_order", "--max-predicates", "2",
+                "-k", "2", "--no-verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-" in out
+
+    def test_detect_runs(self, capsys):
+        code = main(
+            ["detect", "--dataset", "german", "--rows", "400", "--seed", "11",
+             "--poison-fraction", "0.1", "--clusters", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-2 influence-ranked clusters" in out

@@ -1,0 +1,87 @@
+"""Tests for repro.updates.domain."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.encoding import TabularEncoder
+from repro.tabular import Table
+from repro.updates import UpdateDomain
+
+
+@pytest.fixture
+def encoder_and_X():
+    table = Table.from_dict(
+        {
+            "color": ["red", "blue", "red", "green"],
+            "size": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+    encoder = TabularEncoder().fit(table)
+    return encoder, encoder.transform(table)
+
+
+class TestMask:
+    def test_all_features_by_default(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        domain = UpdateDomain(encoder, X)
+        assert domain.mask.all()
+
+    def test_restricted_features(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        domain = UpdateDomain(encoder, X, allowed_features={"size"})
+        group = encoder.group_for("size")
+        expected = np.zeros(encoder.num_features, dtype=bool)
+        expected[group.start] = True
+        np.testing.assert_array_equal(domain.mask, expected)
+
+    def test_unknown_feature_rejected(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        with pytest.raises(ValueError, match="unknown features"):
+            UpdateDomain(encoder, X, allowed_features={"nope"})
+
+    def test_empty_subset_rejected(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        with pytest.raises(ValueError, match="empty subset"):
+            UpdateDomain(encoder, X[:0])
+
+
+class TestProjectDelta:
+    def test_zeroes_untouchable(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        domain = UpdateDomain(encoder, X, allowed_features={"size"})
+        delta = np.ones(encoder.num_features)
+        projected = domain.project_delta(delta)
+        group = encoder.group_for("color")
+        assert (projected[group.start:group.stop] == 0).all()
+
+    def test_numeric_delta_keeps_rows_in_range(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        domain = UpdateDomain(encoder, X, allowed_features={"size"})
+        group = encoder.group_for("size")
+        delta = np.zeros(encoder.num_features)
+        delta[group.start] = 100.0
+        projected = domain.project_delta(delta)
+        shifted = X[:, group.start] + projected[group.start]
+        hi = (group.maximum - group.mean) / group.std
+        assert (shifted <= hi + 1e-9).all()
+
+    def test_categorical_delta_bounded(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        domain = UpdateDomain(encoder, X)
+        group = encoder.group_for("color")
+        delta = np.zeros(encoder.num_features)
+        delta[group.start] = 5.0
+        delta[group.start + 1] = -5.0
+        projected = domain.project_delta(delta)
+        block = X[:, group.start:group.stop] + projected[group.start:group.stop]
+        assert block.min() >= -1e-9
+        assert block.max() <= 1.0 + 1e-9
+
+    def test_snap_rows_delegates_to_encoder(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        domain = UpdateDomain(encoder, X)
+        perturbed = X + 0.3
+        snapped = domain.snap_rows(perturbed)
+        group = encoder.group_for("color")
+        block = snapped[:, group.start:group.stop]
+        np.testing.assert_array_equal(block.sum(axis=1), np.ones(len(X)))

@@ -1,0 +1,73 @@
+"""Tests for repro.updates.perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.encoding import TabularEncoder
+from repro.tabular import Table
+from repro.updates import apply_delta, describe_update
+
+
+@pytest.fixture
+def encoder_and_X():
+    table = Table.from_dict(
+        {
+            "gender": ["F", "F", "M"],
+            "age": [50.0, 60.0, 30.0],
+        }
+    )
+    encoder = TabularEncoder().fit(table)
+    return encoder, encoder.transform(table)
+
+
+class TestApplyDelta:
+    def test_only_selected_rows_change(self, encoder_and_X):
+        _, X = encoder_and_X
+        delta = np.full(X.shape[1], 0.5)
+        out = apply_delta(X, np.array([0]), delta)
+        np.testing.assert_array_equal(out[1], X[1])
+        np.testing.assert_allclose(out[0], X[0] + 0.5)
+
+    def test_original_untouched(self, encoder_and_X):
+        _, X = encoder_and_X
+        before = X.copy()
+        apply_delta(X, np.array([0, 1]), np.ones(X.shape[1]))
+        np.testing.assert_array_equal(X, before)
+
+
+class TestDescribeUpdate:
+    def test_categorical_flip_reported(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        before = X[:2]
+        after = before.copy()
+        group = encoder.group_for("gender")
+        after[:, group.start:group.stop] = 0.0
+        male = group.categories.index("M")
+        after[:, group.start + male] = 1.0
+        changes = describe_update(encoder, before, after)
+        assert changes["gender"] == ("F", "M")
+
+    def test_numeric_shift_reported(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        before = X[:2]
+        after = before.copy()
+        group = encoder.group_for("age")
+        after[:, group.start] -= 2.0  # standardized units
+        changes = describe_update(encoder, before, after)
+        assert "age" in changes
+        assert float(changes["age"][1]) < float(changes["age"][0])
+
+    def test_no_change_empty(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        assert describe_update(encoder, X, X.copy()) == {}
+
+    def test_shape_mismatch(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        with pytest.raises(ValueError, match="identical shapes"):
+            describe_update(encoder, X[:1], X[:2])
+
+    def test_modal_category_on_mixed_rows(self, encoder_and_X):
+        encoder, X = encoder_and_X
+        changes = describe_update(encoder, X, X[::-1].copy())
+        # Majority gender before and after is F either way -> no change row.
+        assert "gender" not in changes

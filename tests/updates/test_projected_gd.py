@@ -1,0 +1,121 @@
+"""Tests for the Section-5 update search."""
+
+import numpy as np
+import pytest
+
+from repro.patterns import Pattern, Predicate
+from repro.updates import find_update_explanation
+
+
+@pytest.fixture(scope="module")
+def pattern_and_indices(german_train):
+    pattern = Pattern(
+        [Predicate("age", ">=", 45.0), Predicate("gender", "=", "Female")]
+    )
+    mask = pattern.mask(german_train.table)
+    return pattern, np.flatnonzero(mask)
+
+
+@pytest.fixture(scope="module")
+def update(
+    lr_model, encoder, X_train, german_train, sp_metric, test_ctx, pattern_and_indices
+):
+    pattern, indices = pattern_and_indices
+    return find_update_explanation(
+        lr_model,
+        encoder,
+        X_train,
+        german_train.labels,
+        sp_metric,
+        test_ctx,
+        pattern,
+        indices,
+        num_steps=40,
+        verify=True,
+    )
+
+
+class TestUpdateSearch:
+    def test_update_reduces_bias_estimate(self, update):
+        """The planted old-female subset admits an update that lowers bias."""
+        assert update.est_bias_change < 0
+
+    def test_ground_truth_confirms_direction(self, update):
+        assert update.gt_bias_change is not None
+        assert update.gt_bias_change < 0
+        assert update.direction == "decrease"
+
+    def test_changes_restricted_to_pattern_features(self, update):
+        assert set(update.changed_features) <= {"age", "gender"}
+
+    def test_gender_flip_found(self, update):
+        """Mirroring the paper's Table 4: the update flips the pattern's
+        gender and/or pushes age below the threshold."""
+        assert update.changed_features  # something changed
+        if "gender" in update.changed_features:
+            assert update.changed_features["gender"] == ("Female", "Male")
+        if "age" in update.changed_features:
+            assert float(update.changed_features["age"][1]) < 45.0
+
+    def test_support_reported(self, update, X_train, pattern_and_indices):
+        _, indices = pattern_and_indices
+        assert update.support == pytest.approx(len(indices) / len(X_train))
+
+    def test_describe_mentions_direction(self, update):
+        assert "bias" in update.describe()
+
+    def test_to_record_serializable(self, update):
+        import json
+
+        record = update.to_record()
+        json.dumps(record)
+        assert record["direction"] == "decrease"
+        assert set(record["changed_features"]) <= {"age", "gender"}
+
+
+class TestUpdateOptions:
+    def test_allowed_features_override(
+        self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
+        pattern_and_indices,
+    ):
+        pattern, indices = pattern_and_indices
+        update = find_update_explanation(
+            lr_model, encoder, X_train, german_train.labels, sp_metric, test_ctx,
+            pattern, indices, allowed_features={"gender"}, num_steps=25,
+        )
+        assert set(update.changed_features) <= {"gender"}
+
+    def test_empty_subset_rejected(
+        self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
+        pattern_and_indices,
+    ):
+        pattern, _ = pattern_and_indices
+        with pytest.raises(ValueError, match="empty"):
+            find_update_explanation(
+                lr_model, encoder, X_train, german_train.labels, sp_metric, test_ctx,
+                pattern, np.array([], dtype=int),
+            )
+
+    def test_direction_vs_removal(
+        self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
+        pattern_and_indices,
+    ):
+        pattern, indices = pattern_and_indices
+        update = find_update_explanation(
+            lr_model, encoder, X_train, german_train.labels, sp_metric, test_ctx,
+            pattern, indices, num_steps=10, removal_bias_change=-1.0,
+        )
+        # Removal reduced bias by 1.0 (more than any update can) -> "less".
+        assert update.direction_vs_removal == "less"
+
+    def test_direction_vs_removal_requires_reference(
+        self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
+        pattern_and_indices,
+    ):
+        pattern, indices = pattern_and_indices
+        update = find_update_explanation(
+            lr_model, encoder, X_train, german_train.labels, sp_metric, test_ctx,
+            pattern, indices, num_steps=5,
+        )
+        with pytest.raises(ValueError, match="removal_bias_change"):
+            update.direction_vs_removal

@@ -1,0 +1,36 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Timer, timed
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_exception_still_records(self):
+        t = Timer()
+        try:
+            with t:
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t.elapsed >= 0.004
+
+
+class TestTimed:
+    def test_returns_result_and_seconds(self):
+        result, seconds = timed(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = timed(lambda a, b=1: a + b, 1, b=5)
+        assert result == 6

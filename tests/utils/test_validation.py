@@ -1,0 +1,60 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary_labels,
+    check_same_length,
+)
+
+
+class TestCheck1d:
+    def test_accepts_vector(self):
+        out = check_1d(np.arange(3))
+        assert out.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_1d(np.zeros((2, 2)), "foo")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_1d(np.zeros((2, 2)), "myarg")
+
+
+class TestCheck2d:
+    def test_accepts_matrix(self):
+        assert check_2d(np.zeros((2, 3))).shape == (2, 3)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_2d(np.zeros(3))
+
+
+class TestSameLength:
+    def test_equal_ok(self):
+        check_same_length(np.zeros(3), np.zeros(3))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length(np.zeros(3), np.zeros(4), ("X", "y"))
+
+
+class TestBinaryLabels:
+    def test_accepts_binary(self):
+        out = check_binary_labels(np.array([0, 1, 1, 0]))
+        assert out.dtype == np.int64
+
+    def test_accepts_all_ones(self):
+        assert check_binary_labels(np.ones(4)).sum() == 4
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_binary_labels(np.array([0, 1, 2]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_binary_labels(np.zeros((2, 2)))
