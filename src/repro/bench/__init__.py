@@ -12,6 +12,7 @@ from repro.bench.workloads import (
     PipelineBundle,
     build_pipeline,
     coherent_subsets,
+    subset_mask_matrix,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "emit",
     "render_series",
     "render_table",
+    "subset_mask_matrix",
 ]

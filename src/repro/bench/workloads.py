@@ -92,6 +92,32 @@ def build_pipeline(
     )
 
 
+def subset_mask_matrix(subsets: list[np.ndarray], num_rows: int) -> np.ndarray:
+    """Stack per-subset index arrays or boolean row masks into the (m, n)
+    boolean mask matrix the batched influence API consumes.
+
+    Benchmarks pre-build this outside their timed sections so loop-vs-batch
+    comparisons time the influence queries, not the mask plumbing.
+    """
+    masks = np.zeros((len(subsets), num_rows), dtype=bool)
+    for j, subset in enumerate(subsets):
+        arr = np.asarray(subset)
+        if arr.dtype == bool:
+            # A 0/1 mask must not be fancy-indexed as row numbers.
+            if arr.shape != (num_rows,):
+                raise ValueError(
+                    f"boolean mask length {arr.shape} != ({num_rows},)"
+                )
+            masks[j] = arr
+        else:
+            idx = arr.astype(np.int64)
+            if idx.size and (idx.min() < 0 or idx.max() >= num_rows):
+                # Negative indices would wrap around and mark the wrong rows.
+                raise IndexError(f"subset indices out of range [0, {num_rows})")
+            masks[j, idx] = True
+    return masks
+
+
 def coherent_subsets(
     bundle: PipelineBundle,
     count: int,

@@ -134,7 +134,7 @@ class GopherExplainer:
             {self.train_data.protected.attribute} if cfg.exclude_protected_only else None
         )
         selected, filter_seconds = select_top_k(
-            lattice.candidates,
+            lattice,
             k,
             cfg.containment_threshold,
             exclude_features_only=protected_only,
@@ -153,12 +153,17 @@ class GopherExplainer:
         )
 
     def _verify(self, explanations: list[Explanation], masks: list[np.ndarray]) -> None:
+        if not explanations:
+            return
         retrainer = self._retrainer()
-        for explanation, mask in zip(explanations, masks):
-            delta = retrainer.bias_change(np.flatnonzero(mask))
-            explanation.gt_bias_change = delta
+        # One batch call; retraining has no closed form, so this resolves to
+        # one refit per subset internally, but keeps the call site uniform
+        # with the estimators that do batch.
+        deltas = retrainer.bias_change_batch(masks)
+        for explanation, delta in zip(explanations, deltas):
+            explanation.gt_bias_change = float(delta)
             explanation.gt_responsibility = (
-                -delta / retrainer.original_bias if retrainer.original_bias else 0.0
+                -float(delta) / retrainer.original_bias if retrainer.original_bias else 0.0
             )
 
     def _retrainer(self) -> RetrainInfluence:
@@ -217,12 +222,26 @@ class GopherExplainer:
         Useful for interactive debugging ("how much does *this* subset I
         suspect actually matter?").  ``ground_truth=True`` retrains.
         """
+        return float(self.responsibility_of_many([pattern], ground_truth)[0])
+
+    def responsibility_of_many(
+        self, patterns: list[Pattern], ground_truth: bool = False
+    ) -> np.ndarray:
+        """Responsibilities of many user-supplied patterns in one batch.
+
+        All patterns are resolved to row masks and handed to the
+        estimator's batched influence API in a single call — for the
+        closed-form estimators the whole query is one GEMM regardless of
+        how many patterns are asked about.  Returns an array aligned with
+        ``patterns``.
+        """
         self._require_fitted()
         assert self.train_data is not None and self.estimator is not None
-        mask = pattern.mask(self.train_data.table)
-        if not mask.any():
-            raise ValueError(f"pattern {pattern} matches no training rows")
-        indices = np.flatnonzero(mask)
-        if ground_truth:
-            return self._retrainer().responsibility(indices)
-        return self.estimator.responsibility(indices)
+        masks = []
+        for pattern in patterns:
+            mask = pattern.mask(self.train_data.table)
+            if not mask.any():
+                raise ValueError(f"pattern {pattern} matches no training rows")
+            masks.append(mask)
+        source = self._retrainer() if ground_truth else self.estimator
+        return source.responsibility_batch(masks)

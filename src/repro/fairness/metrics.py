@@ -22,6 +22,26 @@ from repro.utils.validation import check_2d, check_binary_labels
 _EPS = 1e-9
 
 
+def _stale_batch_reduction(metric: "FairnessMetric", scalar_name: str, batch_name: str) -> bool:
+    """True when the vectorized batch reduction would bypass a subclass's
+    scalar override.
+
+    A batch reduction (e.g. ``_difference_batch``) is only trustworthy if it
+    is defined at — or below — the class that defines the scalar hook it
+    mirrors; a subclass overriding just the scalar hook must fall back to a
+    per-column loop over it, or batch and scalar APIs silently diverge.
+    """
+    cls = type(metric)
+
+    def definer(name: str) -> type:
+        for klass in cls.__mro__:
+            if name in klass.__dict__:
+                return klass
+        return FairnessMetric
+
+    return not issubclass(definer(batch_name), definer(scalar_name))
+
+
 @dataclass(frozen=True)
 class FairnessContext:
     """The frozen test-side state a fairness metric is evaluated on.
@@ -98,6 +118,41 @@ class FairnessMetric:
         """∇_θ of the smooth surrogate — the ∇_θF of Eq. 11."""
         raise NotImplementedError
 
+    # -- batched evaluation over a stack of parameter vectors -------------
+    def value_batch(
+        self,
+        model: TwiceDifferentiableClassifier,
+        ctx: FairnessContext,
+        thetas: np.ndarray,
+    ) -> np.ndarray:
+        """``[value(model, ctx, θ) for θ in thetas]`` as one vectorized pass.
+
+        ``thetas`` has shape (m, p); the result has shape (m,).  One call to
+        ``predict_proba_many`` replaces m model evaluations, and the group
+        difference is reduced along the batch axis — this is what lets the
+        ``"hard"`` and ``"smooth"`` evaluation modes of the influence
+        estimators score hundreds of perturbed parameter vectors per call.
+
+        A subclass that customizes :meth:`value` without touching the batch
+        path gets a loop over its own ``value`` — slower, but never a
+        different number than the scalar API.
+        """
+        if type(self).value is not FairnessMetric.value:
+            return np.array([self.value(model, ctx, theta) for theta in thetas])
+        fav_pred = self._favorable_hard_many(model, ctx, thetas)
+        return self._batch_difference(fav_pred.astype(np.float64), ctx)
+
+    def surrogate_batch(
+        self,
+        model: TwiceDifferentiableClassifier,
+        ctx: FairnessContext,
+        thetas: np.ndarray,
+    ) -> np.ndarray:
+        """Smooth-surrogate counterpart of :meth:`value_batch` — shape (m,)."""
+        if type(self).surrogate is not FairnessMetric.surrogate:
+            return np.array([self.surrogate(model, ctx, theta) for theta in thetas])
+        return self._batch_difference(self._favorable_proba_many(model, ctx, thetas), ctx)
+
     # -- shared helpers ---------------------------------------------------
     def _favorable_hard(
         self,
@@ -125,8 +180,42 @@ class FairnessMetric:
         grad = model.grad_proba(ctx.X, theta)
         return grad if ctx.favorable_label == 1 else -grad
 
+    def _favorable_hard_many(
+        self,
+        model: TwiceDifferentiableClassifier,
+        ctx: FairnessContext,
+        thetas: np.ndarray,
+    ) -> np.ndarray:
+        return model.predict_many(ctx.X, thetas) == ctx.favorable_label
+
+    def _favorable_proba_many(
+        self,
+        model: TwiceDifferentiableClassifier,
+        ctx: FairnessContext,
+        thetas: np.ndarray,
+    ) -> np.ndarray:
+        proba = model.predict_proba_many(ctx.X, thetas)
+        return proba if ctx.favorable_label == 1 else 1.0 - proba
+
     def _difference(self, scores: np.ndarray, ctx: FairnessContext) -> float:
         raise NotImplementedError
+
+    def _difference_batch(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        """Group difference per column of an (n, m) score matrix.
+
+        Subclasses override with an axis-0 reduction; this fallback keeps
+        user-defined metrics working at per-column cost.
+        """
+        return np.array(
+            [self._difference(scores[:, j], ctx) for j in range(scores.shape[1])]
+        )
+
+    def _batch_difference(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        """Use the vectorized reduction only when it is in sync with the
+        scalar ``_difference`` (see :func:`_stale_batch_reduction`)."""
+        if _stale_batch_reduction(self, "_difference", "_difference_batch"):
+            return FairnessMetric._difference_batch(self, scores, ctx)
+        return self._difference_batch(scores, ctx)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -140,6 +229,10 @@ class StatisticalParity(FairnessMetric):
     def _difference(self, scores: np.ndarray, ctx: FairnessContext) -> float:
         priv = ctx.privileged
         return float(scores[priv].mean() - scores[~priv].mean())
+
+    def _difference_batch(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        priv = ctx.privileged
+        return scores[priv].mean(axis=0) - scores[~priv].mean(axis=0)
 
     def grad_theta(
         self,
@@ -169,6 +262,11 @@ class EqualOpportunity(FairnessMetric):
         mask = self._qualifying(ctx)
         priv = ctx.privileged
         return float(scores[mask & priv].mean() - scores[mask & ~priv].mean())
+
+    def _difference_batch(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        mask = self._qualifying(ctx)
+        priv = ctx.privileged
+        return scores[mask & priv].mean(axis=0) - scores[mask & ~priv].mean(axis=0)
 
     def grad_theta(
         self,
@@ -209,6 +307,34 @@ class PredictiveParity(FairnessMetric):
     ) -> float:
         return self._ppv_difference(self._favorable_proba(model, ctx, theta), ctx)
 
+    def value_batch(
+        self,
+        model: TwiceDifferentiableClassifier,
+        ctx: FairnessContext,
+        thetas: np.ndarray,
+    ) -> np.ndarray:
+        if type(self).value is not PredictiveParity.value:
+            return np.array([self.value(model, ctx, theta) for theta in thetas])
+        fav_pred = self._favorable_hard_many(model, ctx, thetas).astype(np.float64)
+        return self._batch_ppv_difference(fav_pred, ctx)
+
+    def surrogate_batch(
+        self,
+        model: TwiceDifferentiableClassifier,
+        ctx: FairnessContext,
+        thetas: np.ndarray,
+    ) -> np.ndarray:
+        if type(self).surrogate is not PredictiveParity.surrogate:
+            return np.array([self.surrogate(model, ctx, theta) for theta in thetas])
+        return self._batch_ppv_difference(self._favorable_proba_many(model, ctx, thetas), ctx)
+
+    def _batch_ppv_difference(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        if _stale_batch_reduction(self, "_ppv_difference", "_ppv_difference_batch"):
+            return np.array(
+                [self._ppv_difference(scores[:, j], ctx) for j in range(scores.shape[1])]
+            )
+        return self._ppv_difference_batch(scores, ctx)
+
     def _ppv_difference(self, scores: np.ndarray, ctx: FairnessContext) -> float:
         fav_true = ctx.favorable_true.astype(np.float64)
         priv = ctx.privileged
@@ -216,6 +342,16 @@ class PredictiveParity(FairnessMetric):
         def ppv(mask: np.ndarray) -> float:
             denom = scores[mask].sum()
             return float((fav_true[mask] * scores[mask]).sum() / (denom + _EPS))
+
+        return ppv(priv) - ppv(~priv)
+
+    def _ppv_difference_batch(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        fav_true = ctx.favorable_true.astype(np.float64)
+        priv = ctx.privileged
+
+        def ppv(mask: np.ndarray) -> np.ndarray:
+            denom = scores[mask].sum(axis=0)
+            return (fav_true[mask, None] * scores[mask]).sum(axis=0) / (denom + _EPS)
 
         return ppv(priv) - ppv(~priv)
 
@@ -269,6 +405,15 @@ class AverageOdds(FairnessMetric):
 
         def gap(mask: np.ndarray) -> float:
             return float(scores[mask & priv].mean() - scores[mask & ~priv].mean())
+
+        return 0.5 * (gap(fav) + gap(unfav))
+
+    def _difference_batch(self, scores: np.ndarray, ctx: FairnessContext) -> np.ndarray:
+        fav, unfav = self._conditioned(ctx)
+        priv = ctx.privileged
+
+        def gap(mask: np.ndarray) -> np.ndarray:
+            return scores[mask & priv].mean(axis=0) - scores[mask & ~priv].mean(axis=0)
 
         return 0.5 * (gap(fav) + gap(unfav))
 

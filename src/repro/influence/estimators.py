@@ -1,15 +1,40 @@
 """The estimator interface and shared per-model caches.
 
-Every estimator answers the same two questions about removing a training
-subset S (given as row indices into the training matrix):
+Every estimator answers the same questions about removing a training subset
+S (given as row indices or a boolean row mask over the training matrix):
 
 * ``param_change(S)``  — estimated Δθ = θ_{D∖S} − θ*;
 * ``bias_change(S)``   — estimated ΔF = F(θ_{D∖S}) − F(θ*) on the test set;
 
-plus ``responsibility(S)`` implementing Definition 3.2.  Constructing an
-estimator performs the paper's "start-up" pre-computation (per-sample
-gradients, the Hessian and its factorization, ∇_θF), after which per-subset
-queries are cheap — the cost model Figure 5 measures.
+plus ``responsibility(S)`` implementing Definition 3.2, and a *batched*
+form of each — ``param_change_batch`` / ``bias_change_batch`` /
+``responsibility_batch`` — that evaluates m subsets per call.
+
+Cost model
+----------
+Construction performs the paper's "start-up" pre-computation once: the
+per-sample gradient matrix (n, p), the Hessian and its Cholesky
+factorization, and ∇_θF.  That is the fixed cost Figure 5 measures.  After
+start-up the two query paths differ:
+
+* **per-subset** — each call pays one gather-and-sum over the subset rows
+  plus one triangular solve; issuing thousands of such calls from Python
+  (one per lattice candidate) is dominated by interpreter and dispatch
+  overhead, not floating-point work.
+* **per-batch** — a batch of m subsets is one (m, n) mask matrix.  Subset
+  gradient sums for the whole batch are a single ``M @ per_sample_grads``
+  GEMM, the Δθ's come from one multi-RHS solve against the cached
+  factorization, and all three evaluation modes score the m perturbed θ's
+  in one vectorized pass.  Per-batch cost is therefore one BLAS level-3
+  call amortized over m subsets — the amortized batch influence queries the
+  lattice search (``repro.patterns.lattice``) is built on.
+
+Batches are given either as an (m, n) boolean mask matrix (rows = subsets)
+or as a sequence of per-subset index arrays; results are aligned with the
+batch order.  The base-class batch methods fall back to looping over the
+scalar queries so estimators without a closed form (retraining) keep the
+same interface; the closed-form estimators override them with the GEMM
+formulation, and the equivalence test suite pins batch == loop to 1e-10.
 
 Evaluation modes
 ----------------
@@ -22,6 +47,10 @@ takes an ``evaluation`` argument:
   captures the metric's curvature without indicator noise.
 * ``"hard"``   — ΔF = F(θ* + Δθ) − F(θ*) with the thresholded metric, the
   quantity retraining ground truth reports.
+
+Batched evaluation is ``deltas @ ∇F`` for ``"linear"`` and a single
+``value_batch`` / ``surrogate_batch`` metric call over the stacked
+``θ* + Δθ`` matrix for the other two.
 """
 
 from __future__ import annotations
@@ -115,7 +144,106 @@ class InfluenceEstimator(ABC):
             raise ZeroDivisionError("original bias is zero; responsibility is undefined")
         return -self.bias_change(indices) / baseline
 
+    # -- the batched estimator contract -----------------------------------
+    def param_change_batch(self, subsets) -> np.ndarray:
+        """Estimated Δθ for every subset in the batch — shape (m, p).
+
+        ``subsets`` is an (m, n) boolean mask matrix or a sequence of index
+        arrays.
+        """
+        return self._param_change_from_masks(self._check_batch(subsets))
+
+    def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
+        """Δθ's for a pre-validated (m, n) mask matrix.
+
+        This base implementation loops over :meth:`param_change` (correct
+        for any estimator, including retraining); closed-form estimators
+        override it with a single GEMM + multi-RHS solve.  Overriding this
+        hook rather than the public method keeps batch validation in one
+        place, paid once per query.
+        """
+        if masks.shape[0] == 0:
+            return np.zeros((0, self.model.num_params))
+        return np.stack([self.param_change(np.flatnonzero(row)) for row in masks])
+
+    def bias_change_batch(self, subsets) -> np.ndarray:
+        """Estimated ΔF for every subset in the batch — shape (m,).
+
+        The Δθ's come from the :meth:`param_change` batch hook; the
+        evaluation mode is applied to all m perturbed parameter vectors in
+        one vectorized pass (see the module docstring).
+        """
+        masks = self._check_batch(subsets)
+        if masks.shape[0] == 0:
+            return np.zeros(0)
+        deltas = self._param_change_from_masks(masks)
+        if self.evaluation == "linear":
+            return deltas @ self.grad_f
+        thetas = self.theta[None, :] + deltas
+        if self.evaluation == "smooth":
+            after = self.metric.surrogate_batch(self.model, self.test_ctx, thetas)
+            return after - self.original_surrogate
+        after = self.metric.value_batch(self.model, self.test_ctx, thetas)
+        return after - self.original_bias
+
+    def responsibility_batch(self, subsets) -> np.ndarray:
+        """Causal responsibility R_F(S) for every subset — shape (m,)."""
+        baseline = (
+            self.original_surrogate if self.evaluation == "smooth" else self.original_bias
+        )
+        if baseline == 0.0:
+            raise ZeroDivisionError("original bias is zero; responsibility is undefined")
+        return -self.bias_change_batch(subsets) / baseline
+
     # -- helpers ----------------------------------------------------------
+    def _check_batch(self, subsets) -> np.ndarray:
+        """Normalize a batch to an (m, n) boolean mask matrix.
+
+        Accepts either the mask matrix itself or any sequence of per-subset
+        index arrays / boolean masks (everything :meth:`_check_indices`
+        accepts).  A 2-D *non-boolean* array is rejected outright: silently
+        reading a 0/1 integer matrix as per-row index lists would return
+        influence for the wrong subsets.  Mirrors the scalar guard against
+        removing the entire training set, row by row.
+        """
+        if isinstance(subsets, np.ndarray) and subsets.ndim == 1 and subsets.dtype != object:
+            # A bare index array iterates element-wise into m *singleton*
+            # subsets — almost certainly not what a caller migrating from
+            # the scalar API meant.  (Object arrays hold per-subset index
+            # arrays and iterate correctly.)
+            raise ValueError(
+                "a batch is a sequence of subsets; wrap a single subset's index "
+                "array in a list (e.g. bias_change_batch([indices]))"
+            )
+        if isinstance(subsets, np.ndarray) and subsets.ndim == 2:
+            if subsets.dtype != bool:
+                raise ValueError(
+                    "2-D subset batches must be boolean mask matrices; pass index "
+                    "arrays as a sequence (e.g. a list of 1-D arrays) instead"
+                )
+            if subsets.shape[1] != self.num_train:
+                raise ValueError(
+                    f"mask matrix has {subsets.shape[1]} columns, expected {self.num_train}"
+                )
+            masks = subsets
+        else:
+            rows = []
+            for subset in subsets:
+                if np.asarray(subset).ndim == 0:
+                    # A flat sequence of ints would be split into singleton
+                    # subsets — same hazard as the bare-array case above.
+                    raise ValueError(
+                        "a batch is a sequence of subsets; wrap a single subset's "
+                        "index array in a list (e.g. bias_change_batch([indices]))"
+                    )
+                rows.append(self._check_indices(subset))
+            masks = np.zeros((len(rows), self.num_train), dtype=bool)
+            for j, idx in enumerate(rows):
+                masks[j, idx] = True
+        if masks.shape[0] and bool(masks.all(axis=1).any()):
+            raise ValueError("cannot remove the entire training set")
+        return masks
+
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices)
         if indices.dtype == bool:
@@ -127,6 +255,11 @@ class InfluenceEstimator(ABC):
         indices = indices.astype(np.int64)
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_train):
             raise IndexError("subset indices out of range of the training data")
+        if indices.size > 1 and np.unique(indices).size != indices.size:
+            # A subset is a set: a duplicated index would double-count its
+            # gradient in the scalar sum but collapse to one row in the
+            # batched mask representation, silently breaking batch == loop.
+            raise ValueError("subset indices contain duplicates")
         return indices
 
     def _subset_size_ok(self, indices: np.ndarray) -> np.ndarray:

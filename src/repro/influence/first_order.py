@@ -50,11 +50,27 @@ class FirstOrderInfluence(InfluenceEstimator):
         g_s = self.per_sample_grads[indices].sum(axis=0)
         return self.solver.solve(g_s) / self.num_train
 
+    def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
+        if masks.shape[0] == 0:
+            return np.zeros((0, self.model.num_params))
+        # One GEMM forms every g_S; one multi-RHS solve against the cached
+        # factorization turns them into Δθ's.
+        grad_sums = masks.astype(np.float64) @ self.per_sample_grads
+        return self.solver.solve_many(grad_sums) / self.num_train
+
     def bias_change(self, indices: np.ndarray) -> float:
         if self.evaluation != "linear":
             return super().bias_change(indices)
         indices = self._subset_size_ok(indices)
         return float(self.point_influences()[indices].sum())
+
+    def bias_change_batch(self, subsets) -> np.ndarray:
+        if self.evaluation != "linear":
+            return super().bias_change_batch(subsets)
+        masks = self._check_batch(subsets)
+        # Linearized ΔF is additive over points, so the whole batch is one
+        # mask-matrix / point-influence product — no solve at all.
+        return masks.astype(np.float64) @ self.point_influences()
 
     def point_influences(self) -> np.ndarray:
         """Per-point linearized bias influence of removal, shape (n,).

@@ -52,9 +52,29 @@ class HessianSolver:
         )
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Return H⁻¹ b for a vector or a stack of vectors (p, k)."""
+        """Return H⁻¹ b for a vector or a column-stack of vectors (p, k).
+
+        The Cholesky factor is computed once at construction, so a k-column
+        right-hand side costs one triangular multi-RHS solve — the primitive
+        the batched influence estimators lean on.
+        """
         b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.dim:
+            raise ValueError(f"right-hand side has leading dimension {b.shape[0]}, expected {self.dim}")
         return linalg.cho_solve(self._factor, b, check_finite=False)
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Return H⁻¹ bᵢ for every *row* of a (k, p) matrix, as (k, p).
+
+        Row-major orientation matches the (batch, params) layout used
+        throughout the batch influence API; the transposes are free (views).
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[1] != self.dim:
+            raise ValueError(f"B must have shape (k, {self.dim}), got {B.shape}")
+        if B.shape[0] == 0:
+            return np.zeros_like(B)
+        return linalg.cho_solve(self._factor, B.T, check_finite=False).T
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Return H x (with the damping used, for consistency with solve)."""

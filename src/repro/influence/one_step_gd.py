@@ -56,3 +56,8 @@ class OneStepGradientDescent(InfluenceEstimator):
         indices = self._subset_size_ok(indices)
         g_s = self.per_sample_grads[indices].sum(axis=0)
         return (self.learning_rate / self.num_train) * g_s
+
+    def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
+        # Every subset's step is a scaled gradient sum: one GEMM total.
+        grad_sums = masks.astype(np.float64) @ self.per_sample_grads
+        return (self.learning_rate / self.num_train) * grad_sums

@@ -57,6 +57,7 @@ class SecondOrderInfluence(InfluenceEstimator):
         self.damping = damping
         self.hessian = model.hessian(self.X_train, self.y_train)
         self.solver = HessianSolver(self.hessian, damping=damping)
+        self._factors: tuple[np.ndarray, np.ndarray, float] | None | str = "unset"
 
     def param_change(self, indices: np.ndarray) -> np.ndarray:
         indices = self._subset_size_ok(indices)
@@ -71,3 +72,47 @@ class SecondOrderInfluence(InfluenceEstimator):
         u = self.solver.solve(g_s)
         correction = u - self.solver.solve(subset_hessian @ u)
         return u / (n - m) - (m / (n - m) ** 2) * correction
+
+    def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
+        """Batched Δθ's.
+
+        The ``"series"`` variant only ever applies subset Hessians to
+        vectors, so for models exposing rank-one Hessian factors the whole
+        batch reduces to GEMMs against the cached factorization: one
+        multi-RHS solve for ``u_S = H⁻¹ g_S``, three matrix products for
+        every ``H_S u_S``, and one more multi-RHS solve for the correction.
+        The ``"exact"`` variant factorizes a *different* reduced matrix
+        ``n·H − m·H_S`` per subset — there is no shared factorization to
+        amortize — so it (and models without factor structure) falls back
+        to the scalar loop.
+        """
+        num_subsets = masks.shape[0]
+        if num_subsets == 0:
+            return np.zeros((0, self.model.num_params))
+        if self.variant != "series" or self._hessian_factors() is None:
+            return super()._param_change_from_masks(masks)
+        phi, weights, ridge = self._hessian_factors()
+        n = self.num_train
+        mask_f = masks.astype(np.float64)
+        sizes = mask_f.sum(axis=1)
+        grad_sums = mask_f @ self.per_sample_grads
+        u = self.solver.solve_many(grad_sums)  # (m, p) rows = H⁻¹ g_S
+        # H_S u_S = (1/|S|) φᵀ (1_S ⊙ w ⊙ (φ u_S)) + ridge·u_S, batched over
+        # the subset axis by weighting the (n, m) projection with the masks.
+        projections = phi @ u.T  # (n, m)
+        weighted = (mask_f.T * weights[:, None]) * projections
+        denom = np.where(sizes > 0, sizes, 1.0)
+        hs_u = (phi.T @ weighted) / denom[None, :] + ridge * u.T  # (p, m)
+        correction = u - self.solver.solve_many(hs_u.T)
+        rest = n - sizes
+        deltas = u / rest[:, None] - (sizes / rest**2)[:, None] * correction
+        deltas[sizes == 0] = 0.0  # matches the scalar empty-subset shortcut
+        return deltas
+
+    def _hessian_factors(self) -> tuple[np.ndarray, np.ndarray, float] | None:
+        if self._factors == "unset":
+            try:
+                self._factors = self.model.hessian_factors(self.X_train, self.y_train)
+            except NotImplementedError:
+                self._factors = None
+        return self._factors  # type: ignore[return-value]

@@ -50,6 +50,25 @@ class TwiceDifferentiableClassifier(ABC):
         """Return hard 0/1 predictions (threshold 0.5)."""
         return (self.predict_proba(X, theta) >= 0.5).astype(np.int64)
 
+    def predict_proba_many(self, X: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        """P(y = 1 | x) under a *stack* of parameter vectors — shape (n, m).
+
+        ``thetas`` is an (m, p) matrix of parameter vectors; column ``j`` of
+        the result equals ``predict_proba(X, thetas[j])``.  The base
+        implementation loops over the stack; linear models override it with
+        a single matrix product so batched influence queries stay at BLAS
+        speed.
+        """
+        thetas = self._check_theta_stack(thetas)
+        X = np.asarray(X, dtype=np.float64)
+        if thetas.shape[0] == 0:
+            return np.zeros((len(X), 0))
+        return np.stack([self.predict_proba(X, t) for t in thetas], axis=1)
+
+    def predict_many(self, X: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions under a stack of parameter vectors — (n, m)."""
+        return (self.predict_proba_many(X, thetas) >= 0.5).astype(np.int64)
+
     def accuracy(self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None) -> float:
         """Fraction of rows predicted correctly."""
         y = check_binary_labels(y)
@@ -75,6 +94,28 @@ class TwiceDifferentiableClassifier(ABC):
         self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
     ) -> np.ndarray:
         """Mean Hessian (1/n) Σ ∇²_θ ℓ(z_i, θ) — shape (p, p)."""
+
+    def hessian_factors(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Rank-one decomposition ``(phi, weights, ridge)`` of the Hessian.
+
+        When a model's per-sample Hessian has the generalized-linear form
+        ``∇²ℓ(z_i, θ) = w_i φ_i φ_iᵀ + ridge·I`` it should return the
+        curvature features ``phi`` (n, p), the per-sample weights ``w``
+        (n,) and the shared ridge, so that for any row subset S
+
+            hessian(X[S], y[S], θ) == (1/|S|) Σ_{i∈S} w_i φ_i φ_iᵀ + ridge·I.
+
+        Batched second-order influence uses this to form subset
+        Hessian-vector products for *many* subsets as three matrix products
+        instead of materializing one (p, p) Hessian per subset.  Models
+        without this structure (e.g. finite-difference Hessians) leave the
+        default, which signals callers to fall back to ``hessian``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose rank-one Hessian factors"
+        )
 
     @abstractmethod
     def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
@@ -116,6 +157,14 @@ class TwiceDifferentiableClassifier(ABC):
     # ------------------------------------------------------------------
     # Shared validation / parameter plumbing
     # ------------------------------------------------------------------
+    def _check_theta_stack(self, thetas: np.ndarray) -> np.ndarray:
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if thetas.ndim != 2 or thetas.shape[1] != self.num_params:
+            raise ValueError(
+                f"thetas must have shape (m, {self.num_params}), got {thetas.shape}"
+            )
+        return thetas
+
     def _resolve_theta(self, theta: np.ndarray | None) -> np.ndarray:
         if theta is not None:
             arr = np.asarray(theta, dtype=np.float64)

@@ -83,6 +83,11 @@ class LogisticRegression(TwiceDifferentiableClassifier):
         Xa = self._augment(X)
         return _sigmoid(Xa @ self._resolve_theta(theta))
 
+    def predict_proba_many(self, X: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        thetas = self._check_theta_stack(thetas)
+        Xa = self._augment(np.asarray(X, dtype=np.float64))
+        return _sigmoid(Xa @ thetas.T)
+
     # ------------------------------------------------------------------
     def per_sample_losses(
         self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
@@ -115,6 +120,15 @@ class LogisticRegression(TwiceDifferentiableClassifier):
         hess = (Xa * weights[:, None]).T @ Xa / len(Xa)
         hess += self.l2_reg * np.eye(self.num_params)
         return hess
+
+    def hessian_factors(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        Xa = self._augment(X)
+        p = _sigmoid(Xa @ th)
+        return Xa, p * (1.0 - p), self.l2_reg
 
     def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)

@@ -159,6 +159,18 @@ class NeuralNetwork(TwiceDifferentiableClassifier):
             return hess
         return self._hessian_fd(X, y, th)
 
+    def hessian_factors(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        if self.hessian_mode != "gauss_newton":
+            # The finite-difference Hessian has no rank-one structure.
+            return super().hessian_factors(X, y, theta)
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        a, z = self._forward(X, th)
+        p = _sigmoid(z)
+        return self._logit_jacobian(X, a, th), p * (1.0 - p), self.l2_reg
+
     # ------------------------------------------------------------------
     def _chain_from_dz(
         self, X: np.ndarray, a: np.ndarray, dz: np.ndarray, theta: np.ndarray

@@ -73,6 +73,11 @@ class LinearSVM(TwiceDifferentiableClassifier):
     def predict_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
         return _sigmoid(self.decision_function(X, theta))
 
+    def predict_proba_many(self, X: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        thetas = self._check_theta_stack(thetas)
+        Xa = self._augment(np.asarray(X, dtype=np.float64))
+        return _sigmoid(Xa @ thetas.T)
+
     # ------------------------------------------------------------------
     def per_sample_losses(
         self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
@@ -105,6 +110,16 @@ class LinearSVM(TwiceDifferentiableClassifier):
         hess = (Xa * weights[:, None]).T @ Xa / len(Xa)
         hess += self.l2_reg * np.eye(self.num_params)
         return hess
+
+    def hessian_factors(
+        self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        Xa = self._augment(X)
+        signed = 2.0 * y - 1.0
+        active = (signed * (Xa @ th)) < 1.0
+        return Xa, 2.0 * active.astype(np.float64), self.l2_reg
 
     def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)

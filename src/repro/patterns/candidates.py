@@ -25,7 +25,12 @@ def generate_single_predicates(
     num_bins: int = 4,
     exclude_features: set[str] | None = None,
 ) -> list[tuple[Predicate, np.ndarray]]:
-    """Return (predicate, mask) pairs whose support exceeds the threshold.
+    """Return (predicate, mask) pairs whose support *strictly* exceeds τ.
+
+    The comparison is strict — a predicate covering exactly
+    ``support_threshold`` of the rows is dropped — matching the merge
+    levels of :func:`repro.patterns.lattice.compute_candidates`, so the
+    support rule is uniform across the whole lattice.
 
     Masks are returned alongside predicates because the lattice reuses them
     for merging; computing each base mask exactly once is what keeps level-1

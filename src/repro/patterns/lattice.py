@@ -21,7 +21,16 @@ Pair enumeration is done by bucketing each level-(i−1) pattern under all of
 its (i−2)-predicate subsets; two patterns share a bucket iff they differ in
 exactly one predicate, so the enumeration is complete without the quadratic
 all-pairs scan.  A candidate reachable through several parent pairs is
-accepted if *some* pair satisfies the responsibility condition.
+evaluated once, against the first pair that produces it (pair order is
+deterministic, so the search is reproducible).
+
+Influence queries are *batched*: each level first gathers every merge that
+survives the structural checks (dedup, satisfiability, support), then asks
+the estimator for all bias changes in one ``bias_change_batch`` call per
+``batch_size`` chunk — one BLAS-level pass per lattice level instead of
+thousands of tiny per-candidate queries (see the cost model in
+``repro.influence.estimators``).  ``batch=False`` keeps the per-candidate
+loop for comparison; both paths return identical candidates.
 """
 
 from __future__ import annotations
@@ -97,6 +106,8 @@ def compute_candidates(
     prune_by_responsibility: bool = True,
     min_responsibility: float = 0.0,
     max_responsibility: float = 1.25,
+    batch: bool = True,
+    batch_size: int = 1024,
 ) -> LatticeResult:
     """Run Algorithm 1 over ``table`` and return all surviving candidates.
 
@@ -108,7 +119,9 @@ def compute_candidates(
         Influence estimator bound to the model trained on this table; its
         ``responsibility`` drives both pruning and ranking.
     support_threshold:
-        τ — patterns must cover strictly more than this fraction of rows.
+        τ — patterns must cover strictly more than this fraction of rows;
+        a candidate whose support equals τ exactly is dropped, at every
+        level of the lattice.
     max_predicates:
         Lattice depth cap (the "level" axis of Table 7).
     num_bins:
@@ -126,9 +139,19 @@ def compute_candidates(
         Root-cause cap for the pruning comparison: parents whose estimated
         responsibility falls outside (0, max_responsibility] do not veto
         their children (see the module docstring).
+    batch:
+        Evaluate each level's surviving candidates through the estimator's
+        batched influence API (the default).  ``False`` restores the
+        per-candidate query loop — same results, kept for benchmarking the
+        batch speedup and as a low-memory fallback.
+    batch_size:
+        Maximum candidates per batched influence call; bounds the (m, n)
+        mask matrix handed to the estimator.
     """
     if max_predicates < 1:
         raise ValueError(f"max_predicates must be >= 1, got {max_predicates}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     num_rows = table.num_rows
     if num_rows != estimator.num_train:
         raise ValueError(
@@ -142,16 +165,20 @@ def compute_candidates(
     # --- level 1 ---------------------------------------------------------
     start = time.perf_counter()
     singles = generate_single_predicates(table, support_threshold, num_bins, exclude_features)
-    current: list[tuple[Pattern, np.ndarray, float]] = []
+    survivors: list[tuple[Pattern, np.ndarray]] = []
     for predicate, mask in singles:
         if mask.all():
             # A full-coverage pattern would "remove the entire data" — the
             # paper notes such patterns have no explanatory value, and no
             # model can be retrained without any training rows.
             continue
-        pattern = Pattern([predicate])
-        resp, dbias = _evaluate(estimator, mask)
-        current.append((pattern, mask, resp))
+        survivors.append((Pattern([predicate]), mask))
+    responsibilities, bias_changes = _evaluate_all(
+        estimator, [mask for _, mask in survivors], batch, batch_size
+    )
+    current: list[tuple[Pattern, np.ndarray, int, float, float]] = []
+    for (pattern, mask), resp, dbias in zip(survivors, responsibilities, bias_changes):
+        current.append((pattern, mask, int(mask.sum()), resp, dbias))
         if resp >= min_responsibility:
             all_stats.append(_stats(pattern, mask, resp, dbias, num_rows))
     levels.append(
@@ -162,13 +189,21 @@ def compute_candidates(
     level = 2
     while current and level <= max_predicates:
         start = time.perf_counter()
-        next_level: list[tuple[Pattern, np.ndarray, float]] = []
         merges_tried = 0
         seen: set[Pattern] = set()
-
+        # Gather phase: structural pruning only (dedup, satisfiability,
+        # support).  Influence is deferred so the whole level is one batch.
+        # A merge whose row set collapses onto one parent's (a redundant
+        # predicate) has *exactly* that parent's responsibility, so the
+        # parent's evaluation is reused — the influence query would only
+        # reproduce it up to floating-point noise, and the strict pruning
+        # comparison must not hinge on that noise.
+        merged_survivors: list[
+            tuple[Pattern, np.ndarray, int, float, tuple[float, float] | None]
+        ] = []
         for i_a, i_b in _mergeable_pairs(current):
-            pattern_a, mask_a, resp_a = current[i_a]
-            pattern_b, mask_b, resp_b = current[i_b]
+            pattern_a, mask_a, size_a, resp_a, dbias_a = current[i_a]
+            pattern_b, mask_b, size_b, resp_b, dbias_b = current[i_b]
             merges_tried += 1
             merged = pattern_a.merge(pattern_b)
             if len(merged) != level or merged in seen:
@@ -177,15 +212,36 @@ def compute_candidates(
             if not merged.is_satisfiable():
                 continue
             mask = mask_a & mask_b
-            support = mask.sum() / num_rows
-            if support < support_threshold or support == 0.0:
+            size = int(mask.sum())
+            support = size / num_rows
+            if support <= support_threshold:
                 continue
-            resp, dbias = _evaluate(estimator, mask)
-            if prune_by_responsibility and resp <= _parent_bar(
-                resp_a, resp_b, max_responsibility
-            ):
+            if size == size_a:  # mask ⊆ mask_a, so equal sizes ⇒ equal sets
+                known = (resp_a, dbias_a)
+            elif size == size_b:
+                known = (resp_b, dbias_b)
+            else:
+                known = None
+            merged_survivors.append(
+                (merged, mask, size, _parent_bar(resp_a, resp_b, max_responsibility), known)
+            )
+
+        # Evaluate phase: one batched influence query per chunk.
+        responsibilities, bias_changes = _evaluate_all(
+            estimator,
+            [mask for _, mask, _, _, known in merged_survivors if known is None],
+            batch,
+            batch_size,
+        )
+
+        # Prune phase: heuristic 2 against the recorded parent bars.
+        next_level = []
+        evaluated = iter(zip(responsibilities, bias_changes))
+        for merged, mask, size, bar, known in merged_survivors:
+            resp, dbias = known if known is not None else next(evaluated)
+            if prune_by_responsibility and resp <= bar:
                 continue
-            next_level.append((merged, mask, resp))
+            next_level.append((merged, mask, size, resp, dbias))
             if resp >= min_responsibility:
                 all_stats.append(_stats(merged, mask, resp, dbias, num_rows))
 
@@ -210,13 +266,15 @@ def _parent_bar(resp_a: float, resp_b: float, cap: float) -> float:
     return max(valid) if valid else -np.inf
 
 
-def _mergeable_pairs(patterns: list[tuple[Pattern, np.ndarray, float]]):
+def _mergeable_pairs(patterns: list[tuple]):
     """Yield index pairs of patterns differing in exactly one predicate.
 
-    Each pattern is filed under every (size−1)-subset of its predicates;
-    two patterns land in the same bucket iff they share that subset, i.e.
-    differ in exactly one predicate.  For level 1 every pair qualifies
-    (the shared subset is empty).
+    ``patterns`` is a list of tuples whose first element is the
+    :class:`Pattern`; the remaining elements (masks, statistics) are
+    ignored here.  Each pattern is filed under every (size−1)-subset of its
+    predicates; two patterns land in the same bucket iff they share that
+    subset, i.e. differ in exactly one predicate.  For level 1 every pair
+    qualifies (the shared subset is empty).
     """
     if not patterns:
         return
@@ -227,8 +285,8 @@ def _mergeable_pairs(patterns: list[tuple[Pattern, np.ndarray, float]]):
                 yield i, j
         return
     buckets: dict[tuple, list[int]] = {}
-    for idx, (pattern, _, _) in enumerate(patterns):
-        preds = pattern.predicates
+    for idx, entry in enumerate(patterns):
+        preds = entry[0].predicates
         for drop in range(len(preds)):
             key = tuple(
                 p.sort_key() for k, p in enumerate(preds) if k != drop
@@ -247,13 +305,49 @@ def _mergeable_pairs(patterns: list[tuple[Pattern, np.ndarray, float]]):
 def _evaluate(estimator: InfluenceEstimator, mask: np.ndarray) -> tuple[float, float]:
     indices = np.flatnonzero(mask)
     dbias = estimator.bias_change(indices)
-    baseline = (
+    baseline = _baseline(estimator)
+    resp = -dbias / baseline if baseline != 0.0 else 0.0
+    return float(resp), float(dbias)
+
+
+def _baseline(estimator: InfluenceEstimator) -> float:
+    return (
         estimator.original_surrogate
         if estimator.evaluation == "smooth"
         else estimator.original_bias
     )
-    resp = -dbias / baseline if baseline != 0.0 else 0.0
-    return float(resp), float(dbias)
+
+
+def _evaluate_all(
+    estimator: InfluenceEstimator,
+    masks: list[np.ndarray],
+    batch: bool,
+    batch_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Responsibilities and bias changes for a level's candidate masks.
+
+    The batched path stacks the masks into (m, n) matrices of at most
+    ``batch_size`` rows and issues one ``bias_change_batch`` per chunk; the
+    loop path queries candidates one at a time.  Both return arrays aligned
+    with ``masks``.
+    """
+    if not masks:
+        empty = np.zeros(0)
+        return empty, empty
+    if not batch:
+        pairs = [_evaluate(estimator, mask) for mask in masks]
+        return np.array([p[0] for p in pairs]), np.array([p[1] for p in pairs])
+    chunks = [
+        estimator.bias_change_batch(np.stack(masks[start : start + batch_size]))
+        for start in range(0, len(masks), batch_size)
+    ]
+    bias_changes = np.concatenate(chunks)
+    baseline = _baseline(estimator)
+    if baseline != 0.0:
+        responsibilities = -bias_changes / baseline
+    else:
+        responsibilities = np.zeros_like(bias_changes)
+    return responsibilities, bias_changes
 
 
 def _stats(

@@ -7,11 +7,11 @@ import time
 import numpy as np
 
 from repro.patterns.containment import containment
-from repro.patterns.lattice import PatternStats
+from repro.patterns.lattice import LatticeResult, PatternStats
 
 
 def select_top_k(
-    candidates: list[PatternStats],
+    candidates: list[PatternStats] | LatticeResult,
     k: int,
     containment_threshold: float = 0.75,
     require_positive_responsibility: bool = True,
@@ -19,6 +19,10 @@ def select_top_k(
     max_responsibility: float = 1.25,
 ) -> tuple[list[PatternStats], float]:
     """Pick the k most interesting, mutually diverse candidates.
+
+    ``candidates`` is either a plain list of :class:`PatternStats` or the
+    :class:`LatticeResult` returned by the (batched) lattice search, which
+    is unwrapped to its candidate list.
 
     Candidates are visited in descending interestingness order (ties broken
     by the canonical pattern order, giving the deterministic tie-break
@@ -43,6 +47,8 @@ def select_top_k(
     Returns ``(selected, filter_seconds)`` — the filtering time is reported
     separately because Table 7 tracks it independently of search time.
     """
+    if isinstance(candidates, LatticeResult):
+        candidates = candidates.candidates
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if not 0.0 < containment_threshold <= 1.0:

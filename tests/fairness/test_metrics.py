@@ -181,3 +181,90 @@ class TestEqualOpportunityEdgeCases:
         ctx = FairnessContext(X, y, privileged)  # protected group has no y=1
         with pytest.raises(ValueError, match="undefined"):
             get_metric("equal_opportunity").value(model, ctx)
+
+
+class TestBatchSubclassFallback:
+    """The batch paths must defer to a subclass's scalar overrides — a metric
+    customizing value()/surrogate() may never get different numbers from
+    value_batch()/surrogate_batch()."""
+
+    def _thetas(self, model):
+        assert model.theta is not None
+        return np.stack([model.theta, model.theta * 0.9, model.theta * 1.1])
+
+    def test_statistical_parity_value_override(self, biased_setup):
+        model, ctx = biased_setup
+
+        class Scaled(StatisticalParity):
+            def value(self, model, ctx, theta=None):
+                return 2.0 * super().value(model, ctx, theta)
+
+        metric = Scaled()
+        thetas = self._thetas(model)
+        batch = metric.value_batch(model, ctx, thetas)
+        scalar = [metric.value(model, ctx, t) for t in thetas]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12, rtol=0.0)
+
+    def test_predictive_parity_surrogate_override(self, biased_setup):
+        model, ctx = biased_setup
+
+        class Shifted(PredictiveParity):
+            def surrogate(self, model, ctx, theta=None):
+                return super().surrogate(model, ctx, theta) + 1.0
+
+        metric = Shifted()
+        thetas = self._thetas(model)
+        batch = metric.surrogate_batch(model, ctx, thetas)
+        scalar = [metric.surrogate(model, ctx, t) for t in thetas]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12, rtol=0.0)
+
+    def test_builtin_batch_stays_vectorized_and_equal(self, biased_setup):
+        model, ctx = biased_setup
+        thetas = self._thetas(model)
+        for name in list_metrics():
+            metric = get_metric(name)
+            np.testing.assert_allclose(
+                metric.value_batch(model, ctx, thetas),
+                [metric.value(model, ctx, t) for t in thetas],
+                atol=1e-12,
+                rtol=0.0,
+                err_msg=name,
+            )
+            np.testing.assert_allclose(
+                metric.surrogate_batch(model, ctx, thetas),
+                [metric.surrogate(model, ctx, t) for t in thetas],
+                atol=1e-12,
+                rtol=0.0,
+                err_msg=name,
+            )
+
+    def test_difference_hook_override(self, biased_setup):
+        """Overriding only the `_difference` reduction (the reviewer's
+        AbsParity case) must also flow through the batch path."""
+        model, ctx = biased_setup
+
+        class AbsParity(StatisticalParity):
+            def _difference(self, scores, ctx):
+                return abs(super()._difference(scores, ctx))
+
+        metric = AbsParity()
+        assert model.theta is not None
+        thetas = np.stack([model.theta, -model.theta])
+        batch = metric.value_batch(model, ctx, thetas)
+        scalar = [metric.value(model, ctx, t) for t in thetas]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12, rtol=0.0)
+        assert (batch >= 0).all()
+
+    def test_ppv_difference_hook_override(self, biased_setup):
+        model, ctx = biased_setup
+
+        class AbsPPV(PredictiveParity):
+            def _ppv_difference(self, scores, ctx):
+                return abs(super()._ppv_difference(scores, ctx))
+
+        metric = AbsPPV()
+        assert model.theta is not None
+        thetas = np.stack([model.theta, -model.theta])
+        batch = metric.surrogate_batch(model, ctx, thetas)
+        scalar = [metric.surrogate(model, ctx, t) for t in thetas]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12, rtol=0.0)

@@ -54,6 +54,63 @@ class TestFirstOrderProperties:
         )
 
 
+def subset_batch_strategy(n):
+    return st.lists(subset_strategy(n), min_size=1, max_size=6)
+
+
+class TestBatchProperties:
+    """Structural invariants of the batched influence API.
+
+    Each batch row is an independent subset query, so the results must be
+    permutation-equivariant (shuffling batch rows shuffles the outputs) and
+    duplication-consistent (a subset appearing twice yields the same output
+    twice) — for both the fully-vectorized first-order path and the
+    second-order multi-RHS path.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_equivariance_first_order(self, data, fo_estimator):
+        self._check_permutation(data, fo_estimator)
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_permutation_equivariance_second_order(self, data, so_estimator):
+        self._check_permutation(data, so_estimator)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_duplicate_subset_duplicates_output_first_order(self, data, fo_estimator):
+        self._check_duplicates(data, fo_estimator)
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_duplicate_subset_duplicates_output_second_order(self, data, so_estimator):
+        self._check_duplicates(data, so_estimator)
+
+    @staticmethod
+    def _check_permutation(data, estimator):
+        n = estimator.num_train
+        subsets = data.draw(subset_batch_strategy(n))
+        perm = data.draw(st.permutations(range(len(subsets))))
+        base = estimator.bias_change_batch(subsets)
+        shuffled = estimator.bias_change_batch([subsets[i] for i in perm])
+        np.testing.assert_allclose(shuffled, base[list(perm)], atol=1e-12, rtol=0.0)
+        resp = estimator.responsibility_batch(subsets)
+        resp_shuffled = estimator.responsibility_batch([subsets[i] for i in perm])
+        np.testing.assert_allclose(resp_shuffled, resp[list(perm)], atol=1e-12, rtol=0.0)
+
+    @staticmethod
+    def _check_duplicates(data, estimator):
+        n = estimator.num_train
+        subsets = data.draw(subset_batch_strategy(n))
+        dup_at = data.draw(st.integers(min_value=0, max_value=len(subsets) - 1))
+        batch = estimator.bias_change_batch(subsets + [subsets[dup_at]])
+        np.testing.assert_allclose(batch[-1], batch[dup_at], atol=1e-12, rtol=0.0)
+        params = estimator.param_change_batch(subsets + [subsets[dup_at]])
+        np.testing.assert_allclose(params[-1], params[dup_at], atol=1e-12, rtol=0.0)
+
+
 class TestSecondOrderProperties:
     @given(data=st.data())
     @settings(max_examples=15, deadline=None)
