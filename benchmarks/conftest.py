@@ -19,6 +19,22 @@ _RESULTS_DIR = Path(__file__).parent / "results"
 _SESSION_START = time.time()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="reduced dataset sizes / step counts and relaxed speedup bars, "
+        "for the CI smoke run",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the benchmark should run its reduced CI configuration."""
+    return bool(request.config.getoption("--smoke"))
+
+
 @pytest.fixture(scope="session")
 def german_lr():
     """The default paper setup: German Credit + logistic regression."""

@@ -89,9 +89,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     result = gopher.explain(k=args.k, verify=not args.no_verify)
     print(result.render())
     if args.updates:
-        print("\nUpdate-based explanations:")
-        for update in gopher.explain_updates(result, verify=not args.no_verify):
-            print(f"  {update.describe()}")
+        updates = gopher.explain_updates(result, verify=not args.no_verify)
+        print()
+        print(updates.render())
     return 0
 
 

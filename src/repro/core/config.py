@@ -46,6 +46,10 @@ class GopherConfig:
         :func:`repro.patterns.select_top_k`.
     exclude_features:
         Features that must not appear in explanation predicates.
+    retrain_jobs:
+        Worker processes for ground-truth verification retrains (removal
+        *and* update explanations).  ``None`` uses one worker per CPU;
+        ``1`` keeps every refit in-process.
     test_fraction / seed:
         Used only by the convenience path that splits a single dataset.
     """
@@ -61,6 +65,7 @@ class GopherConfig:
     exclude_protected_only: bool = True
     max_responsibility: float = 1.25
     exclude_features: set[str] = field(default_factory=set)
+    retrain_jobs: int | None = None
     test_fraction: float = 0.2
     seed: int = 0
 
@@ -79,3 +84,5 @@ class GopherConfig:
             raise ValueError(f"max_predicates must be >= 1, got {self.max_predicates}")
         if not 0.0 < self.test_fraction < 1.0:
             raise ValueError(f"test_fraction must be in (0, 1), got {self.test_fraction}")
+        if self.retrain_jobs is not None and self.retrain_jobs < 1:
+            raise ValueError(f"retrain_jobs must be None or >= 1, got {self.retrain_jobs}")

@@ -55,6 +55,7 @@ class GopherExplainer:
         self.X_train: np.ndarray | None = None
         self.test_ctx: FairnessContext | None = None
         self.estimator: InfluenceEstimator | None = None
+        self._update_ctx = None
 
     # ------------------------------------------------------------------
     def fit(self, train: Dataset, test: Dataset | None = None) -> "GopherExplainer":
@@ -86,6 +87,7 @@ class GopherExplainer:
             self.test_ctx,
             **self.config.estimator_kwargs,
         )
+        self._update_ctx = None
         return self
 
     def _require_fitted(self) -> None:
@@ -170,7 +172,8 @@ class GopherExplainer:
         assert self.train_data is not None and self.X_train is not None
         assert self.test_ctx is not None
         return RetrainInfluence(
-            self.model, self.X_train, self.train_data.labels, self.metric, self.test_ctx
+            self.model, self.X_train, self.train_data.labels, self.metric, self.test_ctx,
+            n_jobs=self.config.retrain_jobs,
         )
 
     # ------------------------------------------------------------------
@@ -181,39 +184,87 @@ class GopherExplainer:
         allowed_features: set[str] | None = None,
         learning_rate: float = 0.25,
         num_steps: int = 120,
+        batch: bool = True,
     ):
         """Section 5: one update-based explanation per removal explanation.
 
         For every pattern in ``explanations``, search for the homogeneous
-        update of its subset that maximally reduces bias.  Returns a list of
-        :class:`repro.updates.UpdateExplanation`, aligned with the input.
+        update of its subset that maximally reduces bias.  All patterns run
+        through one vectorized engine pass sharing the explainer's cached
+        :class:`repro.updates.UpdateSearchContext` (``batch=False`` keeps
+        the per-coordinate reference loop).  Returns a renderable
+        :class:`repro.updates.UpdateExplanationSet`, aligned with the input.
+
+        Each update's ``removal_bias_change`` reference comes from the
+        explanation's ground-truth retrain when available, else from the
+        fitted estimator in one batched query; ``removal_source`` records
+        which.
         """
-        from repro.updates.projected_gd import find_update_explanation
+        from repro.updates.projected_gd import find_update_explanations
 
         self._require_fitted()
         assert self.train_data is not None and self.encoder is not None
         assert self.X_train is not None and self.test_ctx is not None
-        results = []
+        patterns, subsets = [], []
         for explanation in explanations:
-            mask = explanation.pattern.mask(self.train_data.table)
-            results.append(
-                find_update_explanation(
-                    self.model,
-                    self.encoder,
-                    self.X_train,
-                    self.train_data.labels,
-                    self.metric,
-                    self.test_ctx,
-                    explanation.pattern,
-                    np.flatnonzero(mask),
-                    allowed_features=allowed_features,
-                    learning_rate=learning_rate,
-                    num_steps=num_steps,
-                    verify=verify,
-                    removal_bias_change=explanation.gt_bias_change,
-                )
+            patterns.append(explanation.pattern)
+            subsets.append(np.flatnonzero(explanation.pattern.mask(self.train_data.table)))
+        removal_changes, removal_sources = self._removal_references(explanations, subsets)
+        return find_update_explanations(
+            self.model,
+            self.encoder,
+            self.X_train,
+            self.train_data.labels,
+            self.metric,
+            self.test_ctx,
+            patterns,
+            subsets,
+            allowed_features=allowed_features,
+            learning_rate=learning_rate,
+            num_steps=num_steps,
+            verify=verify,
+            removal_bias_changes=removal_changes,
+            removal_sources=removal_sources,
+            batch=batch,
+            context=self._update_context(),
+            n_jobs=self.config.retrain_jobs,
+        )
+
+    def _update_context(self):
+        """The §5 start-up state (∇F, Hessian, η, train grads), built once."""
+        if self._update_ctx is None:
+            from repro.updates.projected_gd import UpdateSearchContext
+
+            assert self.train_data is not None and self.X_train is not None
+            assert self.test_ctx is not None
+            self._update_ctx = UpdateSearchContext(
+                self.model, self.X_train, self.train_data.labels, self.metric, self.test_ctx
             )
-        return results
+        return self._update_ctx
+
+    def _removal_references(
+        self, explanations: ExplanationSet, subsets: list[np.ndarray]
+    ) -> tuple[list[float | None], list[str | None]]:
+        """Reference removal ΔF per explanation: ground truth when verified,
+        else the fitted estimator's estimate (one batched query)."""
+        assert self.estimator is not None
+        missing = [
+            i for i, e in enumerate(explanations) if e.gt_bias_change is None
+        ]
+        estimated: dict[int, float] = {}
+        if missing:
+            changes = self.estimator.bias_change_batch([subsets[i] for i in missing])
+            estimated = dict(zip(missing, changes))
+        references: list[float | None] = []
+        sources: list[str | None] = []
+        for i, explanation in enumerate(explanations):
+            if explanation.gt_bias_change is not None:
+                references.append(float(explanation.gt_bias_change))
+                sources.append("ground_truth")
+            else:
+                references.append(float(estimated[i]))
+                sources.append("estimated")
+        return references, sources
 
     # ------------------------------------------------------------------
     def responsibility_of(self, pattern: Pattern, ground_truth: bool = False) -> float:

@@ -19,7 +19,8 @@ Definition 3.2.
 from repro.influence.estimators import InfluenceEstimator, make_estimator
 from repro.influence.first_order import FirstOrderInfluence
 from repro.influence.hessian import HessianSolver
-from repro.influence.one_step_gd import OneStepGradientDescent
+from repro.influence.one_step_gd import OneStepGradientDescent, auto_learning_rate
+from repro.influence.parallel import RetrainTask, retrain_thetas
 from repro.influence.retrain import RetrainInfluence
 from repro.influence.second_order import SecondOrderInfluence
 
@@ -29,6 +30,9 @@ __all__ = [
     "InfluenceEstimator",
     "OneStepGradientDescent",
     "RetrainInfluence",
+    "RetrainTask",
     "SecondOrderInfluence",
+    "auto_learning_rate",
     "make_estimator",
+    "retrain_thetas",
 ]

@@ -26,6 +26,21 @@ from repro.influence.estimators import InfluenceEstimator
 from repro.models.base import TwiceDifferentiableClassifier
 
 
+def auto_learning_rate(hessian: np.ndarray) -> float:
+    """The shared "auto" step size η = 1/λ_max(H) of the one-step surrogate.
+
+    Both the §4 removal estimator below and the §5 update search
+    (:mod:`repro.updates.projected_gd`) take a single gradient step scaled
+    this way; routing every caller through this helper is what guarantees
+    the two surrogates can never disagree on η for the same Hessian.
+    """
+    hessian = np.asarray(hessian, dtype=np.float64)
+    lam_max = float(np.linalg.eigvalsh(hessian).max())
+    if lam_max <= 0:
+        raise ValueError("hessian must have a positive top eigenvalue")
+    return 1.0 / lam_max
+
+
 class OneStepGradientDescent(InfluenceEstimator):
     """Eq. 13: Δθ from a single gradient step after removing the subset."""
 
@@ -42,10 +57,7 @@ class OneStepGradientDescent(InfluenceEstimator):
         super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
         if learning_rate == "auto":
             hessian = model.hessian(self.X_train, self.y_train)
-            lam_max = float(np.linalg.eigvalsh(hessian).max())
-            if lam_max <= 0:
-                raise ValueError("hessian must have a positive top eigenvalue")
-            self.learning_rate = 1.0 / lam_max
+            self.learning_rate = auto_learning_rate(hessian)
         else:
             rate = float(learning_rate)  # type: ignore[arg-type]
             if rate <= 0:

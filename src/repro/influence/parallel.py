@@ -1,0 +1,150 @@
+"""Process-parallel retraining shared by ``RetrainInfluence`` and the §5 verify path.
+
+Ground-truth verification refits one model clone per subset — embarrassingly
+parallel work that the rest of the influence stack cannot batch because
+retraining has no closed form.  This module owns the one retrain loop both
+callers share:
+
+* :class:`RetrainTask` describes a single counterfactual training set —
+  either *remove* the rows at ``indices`` (the §4 intervention) or *replace*
+  them with new feature rows (the §5 update intervention);
+* :func:`retrain_thetas` refits one warm-started clone per task, fanning the
+  fits out over a process pool when more than one worker is requested.
+
+The shared ``(model, X, y, warm_start)`` payload is shipped to each worker
+*once* through the pool initializer; only the per-task index arrays (and
+replacement rows) travel per task, so a batch of hundreds of subsets does
+not serialize the training matrix hundreds of times.  When a pool cannot
+be created (sandboxed environments without semaphores, unpicklable user
+models) the helper degrades to the serial loop, so callers never have to
+branch on platform.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.base import TwiceDifferentiableClassifier
+
+
+@dataclass(frozen=True)
+class RetrainTask:
+    """One counterfactual refit.
+
+    ``replacement=None`` removes the rows at ``indices`` from the training
+    set (the removal intervention); otherwise the rows are replaced by the
+    ``replacement`` block, which must have one row per index (the update
+    intervention of §5).
+    """
+
+    indices: np.ndarray
+    replacement: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "indices", indices)
+        if self.replacement is not None:
+            replacement = np.asarray(self.replacement, dtype=np.float64)
+            if len(replacement) != indices.size:
+                raise ValueError(
+                    f"replacement has {len(replacement)} rows for {indices.size} indices"
+                )
+            object.__setattr__(self, "replacement", replacement)
+
+
+def modified_training_set(
+    X: np.ndarray, y: np.ndarray, task: RetrainTask
+) -> tuple[np.ndarray, np.ndarray]:
+    """The counterfactual (X, y) a task describes, with the scalar-path guards."""
+    if task.replacement is None:
+        keep = np.setdiff1d(np.arange(len(X)), task.indices)
+        if keep.size == 0:
+            raise ValueError("cannot remove the entire training set")
+        y_keep = y[keep]
+        if len(np.unique(y_keep)) < 2:
+            raise ValueError("removal leaves a single class; the model is degenerate")
+        return X[keep], y_keep
+    X_new = X.copy()
+    X_new[task.indices] = task.replacement
+    return X_new, y
+
+
+def _fit_one(
+    model: TwiceDifferentiableClassifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    task: RetrainTask,
+    warm: np.ndarray | None,
+) -> np.ndarray:
+    X_new, y_new = modified_training_set(X, y, task)
+    clone = model.clone()
+    clone.fit(X_new, y_new, warm_start=None if warm is None else warm.copy())
+    assert clone.theta is not None
+    return clone.theta
+
+
+# Per-worker shared state, installed once by the pool initializer so the
+# (model, X, y, warm) payload is pickled per *worker*, not per task.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(model, X, y, warm) -> None:
+    _WORKER_STATE["shared"] = (model, X, y, warm)
+
+
+def _fit_in_worker(task: RetrainTask) -> np.ndarray:
+    model, X, y, warm = _WORKER_STATE["shared"]
+    return _fit_one(model, X, y, task, warm)
+
+
+def resolve_jobs(n_jobs: int | None, num_tasks: int) -> int:
+    """Worker count: ``None`` means one per CPU, always capped by the task count."""
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = int(n_jobs)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be None or >= 1, got {n_jobs}")
+    return max(1, min(n_jobs, num_tasks))
+
+
+def retrain_thetas(
+    model: TwiceDifferentiableClassifier,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    tasks: list[RetrainTask],
+    *,
+    warm_start: np.ndarray | None = None,
+    n_jobs: int | None = None,
+) -> np.ndarray:
+    """Refit one clone per task and return the (m, p) stack of fitted θ's.
+
+    Fits run in a process pool of :func:`resolve_jobs` workers; task-level
+    errors (degenerate removals) propagate unchanged, while pool
+    *infrastructure* failures fall back to the serial loop.
+    """
+    X = np.asarray(X_train, dtype=np.float64)
+    y = np.asarray(y_train)
+    if not tasks:
+        return np.zeros((0, model.num_params))
+    warm = None if warm_start is None else np.array(warm_start, dtype=np.float64)
+    jobs = resolve_jobs(n_jobs, len(tasks))
+    if jobs > 1:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker, initargs=(model, X, y, warm)
+            ) as pool:
+                return np.stack(list(pool.map(_fit_in_worker, tasks)))
+        except (OSError, BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError):
+            # No pool available here (sandboxed semaphores) or the payload
+            # would not pickle (spawn platforms raise TypeError/AttributeError
+            # for e.g. lock-holding user models) — the serial loop gives
+            # identical results.  A genuine task error re-raises from the
+            # serial pass below, so nothing is masked.
+            pass
+    return np.stack([_fit_one(model, X, y, task, warm) for task in tasks])

@@ -13,11 +13,18 @@ import numpy as np
 
 from repro.fairness.metrics import FairnessContext, FairnessMetric
 from repro.influence.estimators import InfluenceEstimator
+from repro.influence.parallel import RetrainTask, retrain_thetas
 from repro.models.base import TwiceDifferentiableClassifier
 
 
 class RetrainInfluence(InfluenceEstimator):
-    """Exact Δθ and ΔF via refitting on the reduced training data."""
+    """Exact Δθ and ΔF via refitting on the reduced training data.
+
+    ``n_jobs`` controls the batch queries: each subset's refit is
+    independent, so ``param_change_batch`` and friends fan the fits out over
+    a process pool (``None`` = one worker per CPU, ``1`` = the serial loop).
+    Scalar queries always refit in-process.
+    """
 
     def __init__(
         self,
@@ -28,11 +35,13 @@ class RetrainInfluence(InfluenceEstimator):
         test_ctx: FairnessContext,
         warm_start: bool = True,
         evaluation: str = "hard",
+        n_jobs: int | None = 1,
     ) -> None:
         if evaluation == "linear":
             raise ValueError("retraining computes exact parameters; use 'hard' or 'smooth'")
         super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
         self.warm_start = bool(warm_start)
+        self.n_jobs = n_jobs
 
     def retrained_theta(self, indices: np.ndarray) -> np.ndarray:
         """Fit a clone on D ∖ S and return its parameters."""
@@ -51,3 +60,17 @@ class RetrainInfluence(InfluenceEstimator):
 
     def param_change(self, indices: np.ndarray) -> np.ndarray:
         return self.retrained_theta(indices) - self.theta
+
+    def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
+        # One refit per subset, run through the shared (optionally
+        # process-parallel) retrain helper — identical fits to the scalar
+        # path, just dispatched together.
+        if masks.shape[0] == 0:
+            return np.zeros((0, self.model.num_params))
+        tasks = [RetrainTask(np.flatnonzero(row)) for row in masks]
+        warm = self.theta.copy() if self.warm_start else None
+        thetas = retrain_thetas(
+            self.model, self.X_train, self.y_train, tasks,
+            warm_start=warm, n_jobs=self.n_jobs,
+        )
+        return thetas - self.theta[None, :]

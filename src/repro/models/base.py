@@ -117,6 +117,29 @@ class TwiceDifferentiableClassifier(ABC):
             f"{type(self).__name__} does not expose rank-one Hessian factors"
         )
 
+    def input_grads(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        vector: np.ndarray,
+        theta: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """∇_x of the scalar ``vᵀ ∇_θ ℓ(z_i, θ)`` for every row — shape (n, d).
+
+        The §5 update search ascends J(δ) = ∇_θF(θ*)ᵀ Σ_{z∈S} ∇_θℓ(z+δ, θ*)
+        over the input coordinates; a model implementing this hook gives the
+        search an analytic ∇_δJ (one call per ascent step, ``vector`` =
+        ∇_θF) instead of 2·|active| stacked finite-difference objective
+        evaluations.  ``vector`` has length ``num_params``; the result is a
+        gradient with respect to the *input* features, shape
+        (n, num input features).  Models without a closed form leave this
+        default, which signals the search to fall back to central finite
+        differences.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose analytic input gradients"
+        )
+
     @abstractmethod
     def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
         """∇_θ P(ŷ=1 | x_i) for every row — shape (n, p)."""

@@ -130,6 +130,27 @@ class LogisticRegression(TwiceDifferentiableClassifier):
         p = _sigmoid(Xa @ th)
         return Xa, p * (1.0 - p), self.l2_reg
 
+    def input_grads(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        vector: np.ndarray,
+        theta: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # vᵀ∇_θℓ(z, θ) = (σ(θᵀx̃) − y)(vᵀx̃) + λ vᵀθ, so per input coordinate
+        #   ∇_x = σ'(θᵀx̃)(vᵀx̃) θ_x + (σ(θᵀx̃) − y) v_x
+        # with θ_x, v_x the non-intercept slices (the L2 term is constant in x).
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.num_params,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.num_params},)")
+        Xa = self._augment(X)
+        p = _sigmoid(Xa @ th)
+        d = X.shape[1]
+        curvature = p * (1.0 - p) * (Xa @ vector)
+        return curvature[:, None] * th[None, :d] + (p - y)[:, None] * vector[None, :d]
+
     def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
         th = self._resolve_theta(theta)

@@ -5,31 +5,59 @@ perturbation δ to new model parameters (Eq. 14):
 
     θ_p − θ* = −(η/n) [ Σ_{z∈S} ∇_θℓ(z + δ, θ*) − Σ_{z∈S} ∇_θℓ(z, θ*) ],
 
-so the (linearized, Eq. 15) bias change is minimized by *maximizing*
+so the (linearized, Eq. 15) |bias| reduction is achieved by ascending
 
-    J(δ) = ∇_θF(θ*)ᵀ Σ_{z∈S} ∇_θℓ(z + δ, θ*)
+    J(δ) = sign(F(θ*)) · ∇_θF(θ*)ᵀ Σ_{z∈S} ∇_θℓ(z + δ, θ*)
 
-over the feasible box (Eq. 16–18).  ∇_δJ is computed by central finite
-differences on the (cheap, vectorized) subset gradient sum — exact enough
-for every twice-differentiable model in the library while staying
-model-agnostic.  After the continuous ascent, the perturbed points snap back
-onto the input domain (Eq. 19) and the realized bias change is measured at
-the one-step-GD parameters of the *projected* points, with optional
-ground-truth verification by retraining on the updated training set.
+over the feasible box (Eq. 16–18).  After the continuous ascent, the
+perturbed points snap back onto the input domain (Eq. 19) and the realized
+bias change is measured at the one-step-GD parameters of the *projected*
+points, with optional ground-truth verification by retraining on the
+updated training set.
+
+Cost model
+----------
+The search splits into a subset-independent **start-up** — ∇_θF, the
+training Hessian and its auto step size η = 1/λ_max(H), the original bias,
+and the per-sample training gradients — owned by one
+:class:`UpdateSearchContext` shared across every pattern and backoff scale,
+and a per-pattern **search**:
+
+* **ascent** — each step needs ∇_δJ over the active coordinates.  The
+  batched path evaluates it as *one* stacked ``per_sample_grads`` call over
+  all 2·|active| centrally-perturbed copies of the subset (or, for models
+  with the analytic :meth:`~repro.models.base.TwiceDifferentiableClassifier.input_grads`
+  hook, a single closed-form call), where the ``batch=False`` loop issues
+  2·|active| objective evaluations per step from Python.
+* **backoff scoring** — Eq. 14 at every pattern × scale candidate is one
+  concatenated gradient pass plus one vectorized metric evaluation over the
+  stacked θ_p's, replacing a fresh Hessian eigendecomposition and metric
+  call per scale.
+* **verification** — ground-truth retrains for all updates go through the
+  shared process-parallel helper (:func:`repro.influence.parallel.retrain_thetas`).
+
+``batch=False`` keeps the per-coordinate finite-difference loop (with the
+fixed sign conventions) for equivalence testing, mirroring the lattice
+search's ``batch`` flag.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.datasets.encoding import TabularEncoder
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.one_step_gd import auto_learning_rate
+from repro.influence.parallel import RetrainTask, retrain_thetas
 from repro.models.base import TwiceDifferentiableClassifier
 from repro.patterns.pattern import Pattern
 from repro.updates.domain import UpdateDomain
 from repro.updates.perturbation import describe_update
+
+_BACKOFF_SCALES = (1.0, 0.75, 0.5, 0.25)
 
 
 @dataclass
@@ -39,7 +67,9 @@ class UpdateExplanation:
     ``est_bias_change`` is the one-step-GD estimate at the projected update;
     ``gt_bias_change`` (if verified) retrains on the updated training set.
     ``direction`` summarizes the verified effect the way the paper's Tables
-    4–6 do: "decrease" (↓) means bias went down after the update.
+    4–6 do: "decrease" (↓) means the magnitude of the bias went down after
+    the update.  ``removal_source`` records whether ``removal_bias_change``
+    came from ground-truth retraining or from an influence estimate.
     """
 
     pattern: Pattern
@@ -49,6 +79,8 @@ class UpdateExplanation:
     est_bias_change: float
     gt_bias_change: float | None = None
     removal_bias_change: float | None = None
+    original_bias: float | None = None
+    removal_source: str | None = None
 
     @property
     def bias_change(self) -> float:
@@ -57,18 +89,32 @@ class UpdateExplanation:
 
     @property
     def direction(self) -> str:
-        """Whether the update decreases or increases bias (signed ΔF)."""
-        return "decrease" if self.bias_change < 0 else "increase"
+        """Whether the update decreases or increases the *magnitude* of bias.
+
+        The signed ΔF alone is not enough: when the model's signed bias is
+        negative, the bias-reducing update has ΔF > 0.  Compare |bias|
+        before and after instead.  Without ``original_bias`` (hand-built
+        instances) fall back to the signed convention, which is correct for
+        a positive original bias.
+        """
+        if self.original_bias is None:
+            return "decrease" if self.bias_change < 0 else "increase"
+        after = abs(self.original_bias + self.bias_change)
+        return "decrease" if after < abs(self.original_bias) else "increase"
 
     @property
     def direction_vs_removal(self) -> str:
-        """The paper's Tables 4–6 arrow: does the update reduce bias by
+        """The paper's Tables 4–6 arrow: does the update reduce |bias| by
         less (``"less"``, ↓) or more (``"more"``, ↑) than deleting the
         subset would?  Requires ``removal_bias_change``.
         """
         if self.removal_bias_change is None:
             raise ValueError("removal_bias_change was not provided")
-        return "less" if self.bias_change > self.removal_bias_change else "more"
+        if self.original_bias is None:
+            return "less" if self.bias_change > self.removal_bias_change else "more"
+        after_update = abs(self.original_bias + self.bias_change)
+        after_removal = abs(self.original_bias + self.removal_bias_change)
+        return "less" if after_update > after_removal else "more"
 
     def describe(self) -> str:
         changes = ", ".join(
@@ -89,8 +135,267 @@ class UpdateExplanation:
             "estimated_bias_change": self.est_bias_change,
             "ground_truth_bias_change": self.gt_bias_change,
             "removal_bias_change": self.removal_bias_change,
+            "removal_bias_source": self.removal_source,
+            "original_bias": self.original_bias,
             "direction": self.direction,
         }
+
+
+@dataclass
+class UpdateExplanationSet:
+    """The full output of one update search: aligned updates plus timings."""
+
+    updates: list[UpdateExplanation]
+    metric_name: str
+    original_bias: float
+    search_seconds: float
+    verify_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    def __getitem__(self, index: int) -> UpdateExplanation:
+        return self.updates[index]
+
+    def to_records(self) -> list[dict]:
+        """JSON-serializable records, one per update."""
+        return [update.to_record() for update in self.updates]
+
+    def render(self) -> str:
+        """Paper-style table: pattern, the update, Δbias, the Tables 4–6 arrows."""
+        header = (
+            f"Update-based explanations ({self.metric_name}, "
+            f"original bias = {self.original_bias:.4f})"
+        )
+        lines = [header, "-" * len(header)]
+        for update in self.updates:
+            changes = ", ".join(
+                f"{feat}: {a} -> {b}"
+                for feat, (a, b) in sorted(update.changed_features.items())
+            )
+            delta = f"{update.bias_change:+.4f}"
+            if update.gt_bias_change is None:
+                delta += "*"
+            arrow = "v" if update.direction == "decrease" else "^"
+            versus = (
+                update.direction_vs_removal
+                if update.removal_bias_change is not None
+                else "n/a"
+            )
+            lines.append(
+                f"{update.support:7.2%}  {delta:>9s} {arrow}  vs removal: {versus:<4s}  "
+                f"{update.pattern}  [{changes or 'no change found'}]"
+            )
+        timing = f"(search {self.search_seconds:.2f}s"
+        if self.verify_seconds:
+            timing += f", verify {self.verify_seconds:.2f}s"
+        lines.append(timing + "; * = estimated one-step Δbias, unverified)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class UpdateSearchContext:
+    """Subset-independent state of the §5 search, computed once and shared.
+
+    The per-pattern loop used to rebuild and eigendecompose the training
+    Hessian for every backoff scale (4× per pattern) and re-derive ∇F per
+    ascent.  All of that depends only on (model, training data, metric,
+    test context), so one context owns it: ∇_θF, the training Hessian, the
+    auto step size η = 1/λ_max(H) — obtained through the *same*
+    :func:`repro.influence.one_step_gd.auto_learning_rate` helper as the §4
+    one-step estimator, so the two surrogates can never disagree on η — the
+    original bias, and the per-sample training gradients that seed every
+    update's old-gradient sums.
+    """
+
+    def __init__(
+        self,
+        model: TwiceDifferentiableClassifier,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        metric: FairnessMetric,
+        test_ctx: FairnessContext,
+    ) -> None:
+        if model.theta is None:
+            raise ValueError("model must be fitted before building an update-search context")
+        self.model = model
+        self.X_train = np.asarray(X_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train)
+        self.metric = metric
+        self.test_ctx = test_ctx
+        self.theta = np.asarray(model.theta, dtype=np.float64)
+        self.num_train = len(self.X_train)
+        self.grad_f = metric.grad_theta(model, test_ctx)
+        self.original_bias = float(metric.value(model, test_ctx))
+        self.hessian = model.hessian(self.X_train, self.y_train)
+        self.learning_rate = auto_learning_rate(self.hessian)
+        self._train_grads: np.ndarray | None = None
+
+    @property
+    def train_grads(self) -> np.ndarray:
+        """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) (cached)."""
+        if self._train_grads is None:
+            self._train_grads = self.model.per_sample_grads(self.X_train, self.y_train)
+        return self._train_grads
+
+    @property
+    def ascent_grad_f(self) -> np.ndarray:
+        """∇F oriented so that ascending J always *shrinks* |bias|.
+
+        Maximizing ∇FᵀΣ∇ℓ(z+δ) minimizes the linearized ΔF — the right goal
+        only while the signed bias is positive.  For a negative original
+        bias the search must push ΔF *up* toward zero, i.e. ascend −J.
+        """
+        return self.grad_f if self.original_bias >= 0 else -self.grad_f
+
+    def subset_grad_sum(self, indices: np.ndarray) -> np.ndarray:
+        """g_S = Σ_{i∈S} ∇ℓ(z_i, θ*) from the cached training gradients."""
+        return self.train_grads[indices].sum(axis=0)
+
+    def one_step_thetas(self, grad_diffs: np.ndarray) -> np.ndarray:
+        """Eq. 14 for a (m, p) stack of Σ∇ℓ(updated) − Σ∇ℓ(original) sums."""
+        return self.theta[None, :] - (self.learning_rate / self.num_train) * grad_diffs
+
+
+def find_update_explanations(
+    model: TwiceDifferentiableClassifier,
+    encoder: TabularEncoder,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    metric: FairnessMetric,
+    test_ctx: FairnessContext,
+    patterns: list[Pattern],
+    subset_indices: list[np.ndarray],
+    *,
+    allowed_features: set[str] | None = None,
+    learning_rate: float = 0.25,
+    num_steps: int = 120,
+    verify: bool = False,
+    removal_bias_changes: list[float | None] | None = None,
+    removal_sources: list[str | None] | None = None,
+    batch: bool = True,
+    use_input_grads: bool = True,
+    context: UpdateSearchContext | None = None,
+    n_jobs: int | None = None,
+) -> UpdateExplanationSet:
+    """Run the Section-5 optimization for many patterns in one engine pass.
+
+    Parameters
+    ----------
+    patterns / subset_indices:
+        Aligned lists: one update search per (pattern, covered-rows) pair.
+    allowed_features:
+        Features δ may modify.  ``None`` defaults, per pattern, to the
+        features the pattern itself mentions — the choice that keeps updates
+        readable and matches the shape of the paper's Tables 4–6.
+    learning_rate / num_steps:
+        Projected-gradient-ascent schedule for the continuous phase.
+    verify:
+        Retrain on each updated training set (through the shared
+        process-parallel helper; ``n_jobs`` workers) to fill
+        ``gt_bias_change``.
+    removal_bias_changes / removal_sources:
+        Optional aligned reference ΔF's of *removing* each subset (and where
+        each number came from, e.g. ``"ground_truth"`` / ``"estimated"``),
+        enabling ``direction_vs_removal``.
+    batch:
+        ``False`` runs the per-coordinate finite-difference loop and scores
+        backoff scales one at a time — kept for equivalence testing.
+    use_input_grads:
+        Allow the analytic ``input_grads`` fast path when the model has one
+        (batched path only); disable to force stacked finite differences.
+    context:
+        A pre-built :class:`UpdateSearchContext` to share start-up work
+        across calls; one is built on the fly when omitted.
+    """
+    if len(patterns) != len(subset_indices):
+        raise ValueError("patterns and subset_indices must be aligned")
+    removal_bias_changes = _aligned(removal_bias_changes, len(patterns), "removal_bias_changes")
+    removal_sources = _aligned(removal_sources, len(patterns), "removal_sources")
+    subsets = []
+    for indices in subset_indices:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValueError("cannot compute an update for an empty subset")
+        subsets.append(indices)
+    if context is None:
+        context = UpdateSearchContext(model, X_train, y_train, metric, test_ctx)
+    elif context.model is not model:
+        # The ascent evaluates the argument model while η, ∇F, scoring, and
+        # the original bias come from the context — a mismatch would produce
+        # a silently inconsistent hybrid.
+        raise ValueError("context was built for a different model instance")
+    if not patterns:
+        return UpdateExplanationSet(
+            updates=[],
+            metric_name=metric.name,
+            original_bias=context.original_bias,
+            search_seconds=0.0,
+        )
+
+    start = time.perf_counter()
+    domains, deltas = [], []
+    for pattern, indices in zip(patterns, subsets):
+        subset_X = context.X_train[indices]
+        subset_y = context.y_train[indices]
+        allowed = allowed_features if allowed_features is not None else pattern.features()
+        domain = UpdateDomain(encoder, subset_X, allowed)
+        ascend = _ascend_batch if batch else _ascend_loop
+        deltas.append(
+            ascend(
+                model, subset_X, subset_y, context.ascent_grad_f, domain,
+                learning_rate, num_steps, use_input_grads=use_input_grads and batch,
+            )
+        )
+        domains.append(domain)
+    score = _score_backoff_batch if batch else _score_backoff_loop
+    best_rows, best_changes = score(context, domains, subsets, deltas)
+    search_seconds = time.perf_counter() - start
+
+    verify_seconds = 0.0
+    gt_changes: list[float | None] = [None] * len(patterns)
+    if verify:
+        start = time.perf_counter()
+        tasks = [
+            RetrainTask(indices, rows) for indices, rows in zip(subsets, best_rows)
+        ]
+        thetas = retrain_thetas(
+            model, context.X_train, context.y_train, tasks,
+            warm_start=context.theta, n_jobs=n_jobs if batch else 1,
+        )
+        after = metric.value_batch(model, test_ctx, thetas)
+        gt_changes = [float(a - context.original_bias) for a in after]
+        verify_seconds = time.perf_counter() - start
+
+    updates = []
+    for i, (pattern, indices) in enumerate(zip(patterns, subsets)):
+        updates.append(
+            UpdateExplanation(
+                pattern=pattern,
+                support=indices.size / context.num_train,
+                delta=deltas[i],
+                changed_features=describe_update(
+                    encoder, context.X_train[indices], best_rows[i]
+                ),
+                est_bias_change=best_changes[i],
+                gt_bias_change=gt_changes[i],
+                removal_bias_change=removal_bias_changes[i],
+                original_bias=context.original_bias,
+                removal_source=removal_sources[i],
+            )
+        )
+    return UpdateExplanationSet(
+        updates=updates,
+        metric_name=metric.name,
+        original_bias=context.original_bias,
+        search_seconds=search_seconds,
+        verify_seconds=verify_seconds,
+    )
 
 
 def find_update_explanation(
@@ -107,68 +412,38 @@ def find_update_explanation(
     num_steps: int = 120,
     verify: bool = False,
     removal_bias_change: float | None = None,
+    removal_source: str | None = None,
+    batch: bool = True,
+    use_input_grads: bool = True,
+    context: UpdateSearchContext | None = None,
 ) -> UpdateExplanation:
-    """Run the Section-5 optimization for one pattern's subset.
-
-    Parameters
-    ----------
-    allowed_features:
-        Features δ may modify.  ``None`` defaults to the features the
-        pattern itself mentions — the choice that keeps updates readable and
-        matches the shape of the paper's Tables 4–6.
-    learning_rate / num_steps:
-        Projected-gradient-ascent schedule for the continuous phase.
-    verify:
-        Retrain on the updated training set to fill ``gt_bias_change``.
-    """
-    subset_indices = np.asarray(subset_indices, dtype=np.int64)
-    if subset_indices.size == 0:
-        raise ValueError("cannot compute an update for an empty subset")
-    X_train = np.asarray(X_train, dtype=np.float64)
-    subset_X = X_train[subset_indices]
-    subset_y = np.asarray(y_train)[subset_indices]
-    if allowed_features is None:
-        allowed_features = pattern.features()
-    domain = UpdateDomain(encoder, subset_X, allowed_features)
-    grad_f = metric.grad_theta(model, test_ctx)
-
-    delta = _ascend(model, subset_X, subset_y, grad_f, domain, learning_rate, num_steps)
-
-    # Back off along δ if the full step overshoots past zero bias: among a
-    # few scalings of δ (snapped onto the domain, Eq. 19) pick the one whose
-    # estimated post-update |bias| is smallest.  The linearized objective is
-    # blind to overshoot, so without this the "maximal" update can flip the
-    # bias sign instead of removing it.
-    original_bias = metric.value(model, test_ctx)
-    best_rows, best_change = None, None
-    for scale in (1.0, 0.75, 0.5, 0.25):
-        rows = domain.snap_rows(subset_X + scale * delta)
-        change = _one_step_bias_change(
-            model, X_train, y_train, metric, test_ctx, subset_indices, rows
-        )
-        after = abs(original_bias + change)
-        if best_change is None or after < abs(original_bias + best_change):
-            best_rows, best_change = rows, change
-    assert best_rows is not None and best_change is not None
-    updated_rows = best_rows
-    est_change = best_change
-    changed = describe_update(encoder, subset_X, updated_rows)
-    gt_change = None
-    if verify:
-        gt_change = _retrain_bias_change(
-            model, X_train, y_train, metric, test_ctx, subset_indices, updated_rows
-        )
-    return UpdateExplanation(
-        pattern=pattern,
-        support=subset_indices.size / len(X_train),
-        delta=delta,
-        changed_features=changed,
-        est_bias_change=est_change,
-        gt_bias_change=gt_change,
-        removal_bias_change=removal_bias_change,
+    """Single-pattern convenience wrapper around :func:`find_update_explanations`."""
+    result = find_update_explanations(
+        model, encoder, X_train, y_train, metric, test_ctx,
+        [pattern], [subset_indices],
+        allowed_features=allowed_features,
+        learning_rate=learning_rate,
+        num_steps=num_steps,
+        verify=verify,
+        removal_bias_changes=[removal_bias_change],
+        removal_sources=[removal_source],
+        batch=batch,
+        use_input_grads=use_input_grads,
+        context=context,
     )
+    return result[0]
 
 
+def _aligned(values: list | None, count: int, name: str) -> list:
+    if values is None:
+        return [None] * count
+    if len(values) != count:
+        raise ValueError(f"{name} must have one entry per pattern")
+    return list(values)
+
+
+# ----------------------------------------------------------------------
+# Continuous ascent
 # ----------------------------------------------------------------------
 def _objective(
     model: TwiceDifferentiableClassifier,
@@ -181,7 +456,7 @@ def _objective(
     return float(grad_f @ grads.sum(axis=0))
 
 
-def _ascend(
+def _ascend_loop(
     model: TwiceDifferentiableClassifier,
     subset_X: np.ndarray,
     subset_y: np.ndarray,
@@ -189,8 +464,9 @@ def _ascend(
     domain: UpdateDomain,
     learning_rate: float,
     num_steps: int,
+    use_input_grads: bool = False,
 ) -> np.ndarray:
-    """Projected gradient ascent on J(δ) with finite-difference gradients."""
+    """Per-coordinate central differences — the reference ``batch=False`` path."""
     dim = subset_X.shape[1]
     delta = np.zeros(dim)
     active = np.flatnonzero(domain.mask)
@@ -213,43 +489,167 @@ def _ascend(
     return delta
 
 
+def _supports_input_grads(model: TwiceDifferentiableClassifier) -> bool:
+    return type(model).input_grads is not TwiceDifferentiableClassifier.input_grads
+
+
+def _ascend_batch(
+    model: TwiceDifferentiableClassifier,
+    subset_X: np.ndarray,
+    subset_y: np.ndarray,
+    grad_f: np.ndarray,
+    domain: UpdateDomain,
+    learning_rate: float,
+    num_steps: int,
+    use_input_grads: bool = True,
+) -> np.ndarray:
+    """One stacked (or analytic) gradient evaluation per ascent step."""
+    dim = subset_X.shape[1]
+    delta = np.zeros(dim)
+    active = np.flatnonzero(domain.mask)
+    if active.size == 0:
+        return delta
+    analytic = use_input_grads and _supports_input_grads(model)
+    eps = 1e-4
+    for _ in range(num_steps):
+        base = subset_X + delta
+        if analytic:
+            full = model.input_grads(base, subset_y, grad_f).sum(axis=0)
+            grad = np.zeros(dim)
+            grad[active] = full[active]
+        else:
+            grad = _stacked_fd_grad(model, base, subset_y, grad_f, active, eps, dim)
+        norm = np.linalg.norm(grad)
+        if norm < 1e-12:
+            break
+        new_delta = domain.project_delta(delta + learning_rate * grad / norm)
+        if np.allclose(new_delta, delta, atol=1e-10):
+            break
+        delta = new_delta
+    return delta
+
+
+def _stacked_fd_grad(
+    model: TwiceDifferentiableClassifier,
+    base: np.ndarray,
+    subset_y: np.ndarray,
+    grad_f: np.ndarray,
+    active: np.ndarray,
+    eps: float,
+    dim: int,
+) -> np.ndarray:
+    """∇_δJ by central differences, all 2·|active| copies in one model call."""
+    s = base.shape[0]
+    a = active.size
+    stacked = np.repeat(base[None, :, :], 2 * a, axis=0)
+    arange = np.arange(a)
+    stacked[arange, :, active] += eps
+    stacked[a + arange, :, active] -= eps
+    grads = model.per_sample_grads(stacked.reshape(2 * a * s, dim), np.tile(subset_y, 2 * a))
+    values = grads.reshape(2 * a, s, -1).sum(axis=1) @ grad_f
+    grad = np.zeros(dim)
+    grad[active] = (values[:a] - values[a:]) / (2.0 * eps)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# Backoff-scale scoring (Eq. 14 at the projected candidates)
+# ----------------------------------------------------------------------
 def _one_step_bias_change(
-    model: TwiceDifferentiableClassifier,
-    X_train: np.ndarray,
-    y_train: np.ndarray,
-    metric: FairnessMetric,
-    test_ctx: FairnessContext,
+    context: UpdateSearchContext,
     subset_indices: np.ndarray,
     updated_rows: np.ndarray,
 ) -> float:
-    """Eq. 14 evaluated at the projected update, with η = 1/λ_max(H)."""
-    assert model.theta is not None
-    n = len(X_train)
-    old_grads = model.per_sample_grads(X_train[subset_indices], np.asarray(y_train)[subset_indices])
-    new_grads = model.per_sample_grads(updated_rows, np.asarray(y_train)[subset_indices])
-    hessian = model.hessian(X_train, y_train)
-    eta = 1.0 / float(np.linalg.eigvalsh(hessian).max())
-    theta_p = model.theta - (eta / n) * (new_grads.sum(axis=0) - old_grads.sum(axis=0))
-    before = metric.value(model, test_ctx)
-    after = metric.value(model, test_ctx, theta_p)
-    return float(after - before)
+    """Eq. 14 evaluated at one projected update, at the context's shared η."""
+    new_sum = context.model.per_sample_grads(
+        updated_rows, context.y_train[subset_indices]
+    ).sum(axis=0)
+    diff = new_sum - context.subset_grad_sum(subset_indices)
+    theta_p = context.one_step_thetas(diff[None, :])[0]
+    after = context.metric.value(context.model, context.test_ctx, theta_p)
+    return float(after - context.original_bias)
 
 
-def _retrain_bias_change(
-    model: TwiceDifferentiableClassifier,
-    X_train: np.ndarray,
-    y_train: np.ndarray,
-    metric: FairnessMetric,
-    test_ctx: FairnessContext,
-    subset_indices: np.ndarray,
-    updated_rows: np.ndarray,
-) -> float:
-    """Ground truth: retrain with the subset replaced by its updated rows."""
-    assert model.theta is not None
-    X_new = np.asarray(X_train, dtype=np.float64).copy()
-    X_new[subset_indices] = updated_rows
-    clone = model.clone()
-    clone.fit(X_new, np.asarray(y_train), warm_start=model.theta.copy())
-    before = metric.value(model, test_ctx)
-    after = metric.value(clone, test_ctx)
-    return float(after - before)
+def _backoff_candidates(
+    context: UpdateSearchContext,
+    domains: list[UpdateDomain],
+    subsets: list[np.ndarray],
+    deltas: list[np.ndarray],
+) -> list[list[np.ndarray]]:
+    """Snapped (Eq. 19) row blocks for every pattern × backoff scale."""
+    candidates = []
+    for domain, indices, delta in zip(domains, subsets, deltas):
+        base = context.X_train[indices]
+        candidates.append(
+            [domain.snap_rows(base + scale * delta) for scale in _BACKOFF_SCALES]
+        )
+    return candidates
+
+
+def _pick_scale(context: UpdateSearchContext, changes: np.ndarray) -> int:
+    """The scale whose estimated post-update |bias| is smallest (first wins).
+
+    The linearized objective is blind to overshoot, so without the backoff
+    the "maximal" update can flip the bias sign instead of removing it.
+    """
+    return int(np.argmin(np.abs(context.original_bias + changes)))
+
+
+def _score_backoff_loop(
+    context: UpdateSearchContext,
+    domains: list[UpdateDomain],
+    subsets: list[np.ndarray],
+    deltas: list[np.ndarray],
+) -> tuple[list[np.ndarray], list[float]]:
+    best_rows, best_changes = [], []
+    for indices, scaled_rows in zip(
+        subsets, _backoff_candidates(context, domains, subsets, deltas)
+    ):
+        changes = np.array(
+            [_one_step_bias_change(context, indices, rows) for rows in scaled_rows]
+        )
+        k = _pick_scale(context, changes)
+        best_rows.append(scaled_rows[k])
+        best_changes.append(float(changes[k]))
+    return best_rows, best_changes
+
+
+def _score_backoff_batch(
+    context: UpdateSearchContext,
+    domains: list[UpdateDomain],
+    subsets: list[np.ndarray],
+    deltas: list[np.ndarray],
+) -> tuple[list[np.ndarray], list[float]]:
+    """All pattern × scale candidates through one gradient pass + one
+    vectorized metric evaluation."""
+    candidates = _backoff_candidates(context, domains, subsets, deltas)
+    blocks = [rows for scaled_rows in candidates for rows in scaled_rows]
+    labels = [
+        context.y_train[indices]
+        for indices in subsets
+        for _ in _BACKOFF_SCALES
+    ]
+    grads = context.model.per_sample_grads(
+        np.concatenate(blocks, axis=0), np.concatenate(labels)
+    )
+    sizes = np.array([len(rows) for rows in blocks], dtype=np.int64)
+    starts = np.zeros(len(blocks), dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    new_sums = np.add.reduceat(grads, starts, axis=0)
+    old_sums = np.repeat(
+        np.stack([context.subset_grad_sum(indices) for indices in subsets]),
+        len(_BACKOFF_SCALES),
+        axis=0,
+    )
+    thetas = context.one_step_thetas(new_sums - old_sums)
+    after = context.metric.value_batch(context.model, context.test_ctx, thetas)
+    changes = np.asarray(after) - context.original_bias
+
+    num_scales = len(_BACKOFF_SCALES)
+    best_rows, best_changes = [], []
+    for i, scaled_rows in enumerate(candidates):
+        chunk = changes[i * num_scales:(i + 1) * num_scales]
+        k = _pick_scale(context, chunk)
+        best_rows.append(scaled_rows[k])
+        best_changes.append(float(chunk[k]))
+    return best_rows, best_changes

@@ -1,0 +1,122 @@
+"""The shared (optionally process-parallel) retrain helper.
+
+``retrain_thetas`` is the one refit loop behind ``RetrainInfluence``'s batch
+queries and the §5 update verification; parallel dispatch must change
+nothing but wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.influence import RetrainInfluence, RetrainTask, retrain_thetas
+from repro.influence.parallel import modified_training_set, resolve_jobs
+
+
+@pytest.fixture(scope="module")
+def subsets():
+    return [np.arange(5), np.arange(20, 60), np.array([3, 7, 400, 401])]
+
+
+class TestRetrainThetas:
+    def test_removal_tasks_match_scalar_path(
+        self, retrain_estimator, lr_model, X_train, german_train, subsets
+    ):
+        tasks = [RetrainTask(s) for s in subsets]
+        thetas = retrain_thetas(
+            lr_model, X_train, german_train.labels, tasks,
+            warm_start=lr_model.theta, n_jobs=1,
+        )
+        for subset, theta in zip(subsets, thetas):
+            np.testing.assert_allclose(
+                theta, retrain_estimator.retrained_theta(subset), atol=1e-12
+            )
+
+    def test_parallel_matches_serial(self, lr_model, X_train, german_train, subsets):
+        tasks = [RetrainTask(s) for s in subsets]
+        serial = retrain_thetas(
+            lr_model, X_train, german_train.labels, tasks,
+            warm_start=lr_model.theta, n_jobs=1,
+        )
+        parallel = retrain_thetas(
+            lr_model, X_train, german_train.labels, tasks,
+            warm_start=lr_model.theta, n_jobs=2,
+        )
+        np.testing.assert_allclose(parallel, serial, atol=1e-12)
+
+    def test_replacement_task_matches_manual_refit(
+        self, lr_model, X_train, german_train
+    ):
+        indices = np.arange(10)
+        replacement = X_train[indices] * 0.5
+        thetas = retrain_thetas(
+            lr_model, X_train, german_train.labels,
+            [RetrainTask(indices, replacement)],
+            warm_start=lr_model.theta,
+        )
+        X_new = X_train.copy()
+        X_new[indices] = replacement
+        clone = lr_model.clone().fit(X_new, german_train.labels,
+                                     warm_start=lr_model.theta.copy())
+        np.testing.assert_allclose(thetas[0], clone.theta, atol=1e-12)
+
+    def test_empty_task_list(self, lr_model, X_train, german_train):
+        thetas = retrain_thetas(lr_model, X_train, german_train.labels, [])
+        assert thetas.shape == (0, lr_model.num_params)
+
+    def test_replacement_row_count_checked(self):
+        with pytest.raises(ValueError, match="replacement"):
+            RetrainTask(np.arange(3), np.zeros((2, 4)))
+
+    def test_degenerate_removal_raises(self, lr_model, X_train, german_train):
+        labels = np.asarray(german_train.labels)
+        keep_class = np.flatnonzero(labels == 0)
+        task = RetrainTask(np.flatnonzero(labels == 1))
+        assert keep_class.size > 0
+        with pytest.raises(ValueError, match="single class"):
+            retrain_thetas(lr_model, X_train, labels, [task])
+
+
+class TestHelpers:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1, 10) == 1
+        assert resolve_jobs(4, 2) == 2
+        assert resolve_jobs(None, 3) >= 1
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_jobs(0, 3)
+
+    def test_modified_training_set_removal(self, X_train, german_train):
+        X_new, y_new = modified_training_set(
+            X_train, np.asarray(german_train.labels), RetrainTask(np.arange(5))
+        )
+        assert len(X_new) == len(X_train) - 5
+        np.testing.assert_array_equal(X_new[0], X_train[5])
+        assert len(y_new) == len(X_new)
+
+    def test_modified_training_set_replacement(self, X_train, german_train):
+        rows = X_train[:3] + 1.0
+        X_new, y_new = modified_training_set(
+            X_train, np.asarray(german_train.labels), RetrainTask(np.arange(3), rows)
+        )
+        assert len(X_new) == len(X_train)
+        np.testing.assert_array_equal(X_new[:3], rows)
+        np.testing.assert_array_equal(y_new, np.asarray(german_train.labels))
+
+
+class TestRetrainInfluenceBatch:
+    def test_batch_matches_scalar(self, retrain_estimator, subsets):
+        batch = retrain_estimator.bias_change_batch(subsets)
+        scalar = [retrain_estimator.bias_change(s) for s in subsets]
+        np.testing.assert_allclose(batch, scalar, atol=1e-12)
+
+    def test_parallel_estimator_matches_serial(
+        self, lr_model, X_train, german_train, sp_metric, test_ctx,
+        retrain_estimator, subsets,
+    ):
+        parallel = RetrainInfluence(
+            lr_model, X_train, german_train.labels, sp_metric, test_ctx, n_jobs=2
+        )
+        np.testing.assert_allclose(
+            parallel.bias_change_batch(subsets),
+            retrain_estimator.bias_change_batch(subsets),
+            atol=1e-12,
+        )

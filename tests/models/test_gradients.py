@@ -111,6 +111,36 @@ class TestHessianMatchesFiniteDifferences:
             np.testing.assert_allclose(H, H.T, atol=1e-10)
 
 
+class TestInputGrads:
+    """The analytic ∇_x(vᵀ∇_θℓ) hook that fast-paths the §5 update search."""
+
+    def test_lr_matches_fd(self, xy, models):
+        X, y = xy
+        model = models[0]
+        rng = np.random.default_rng(7)
+        v = rng.normal(size=model.num_params)
+        analytic = model.input_grads(X[:6], y[:6], v)
+        assert analytic.shape == (6, X.shape[1])
+        for i in range(6):
+            def scalar(x_row, i=i):
+                grads = model.per_sample_grads(x_row[None, :], y[i : i + 1])
+                return float(v @ grads[0])
+
+            numeric = fd_grad(scalar, X[i].copy())
+            np.testing.assert_allclose(analytic[i], numeric, atol=1e-5, rtol=1e-4)
+
+    def test_lr_vector_shape_checked(self, xy, models):
+        X, y = xy
+        with pytest.raises(ValueError, match="vector shape"):
+            models[0].input_grads(X, y, np.zeros(2))
+
+    @pytest.mark.parametrize("idx", [1, 2], ids=["svm", "nn"])
+    def test_default_signals_fallback(self, xy, models, idx):
+        X, y = xy
+        with pytest.raises(NotImplementedError):
+            models[idx].input_grads(X, y, np.zeros(models[idx].num_params))
+
+
 class TestGradProba:
     @pytest.mark.parametrize("idx", [0, 1, 2], ids=["lr", "svm", "nn"])
     def test_matches_fd(self, xy, models, idx):

@@ -45,6 +45,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Top-" in out
 
+    def test_explain_updates_runs(self, capsys):
+        # --no-verify leaves gt_bias_change empty, so this also exercises
+        # the estimator fallback for the removal reference (no crash).
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+                "--estimator", "first_order", "--max-predicates", "2",
+                "-k", "2", "--no-verify", "--updates",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Update-based explanations" in out
+        assert "vs removal" in out
+
     def test_detect_runs(self, capsys):
         code = main(
             ["detect", "--dataset", "german", "--rows", "400", "--seed", "11",

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.fairness import FairnessContext
 from repro.patterns import Pattern, Predicate
-from repro.updates import find_update_explanation
+from repro.updates import UpdateExplanation, find_update_explanation
 
 
 @pytest.fixture(scope="module")
@@ -103,10 +104,15 @@ class TestUpdateOptions:
         pattern, indices = pattern_and_indices
         update = find_update_explanation(
             lr_model, encoder, X_train, german_train.labels, sp_metric, test_ctx,
-            pattern, indices, num_steps=10, removal_bias_change=-1.0,
+            pattern, indices, num_steps=10,
         )
-        # Removal reduced bias by 1.0 (more than any update can) -> "less".
+        # A removal that exactly zeroes the bias beats any projected update.
+        update.removal_bias_change = -update.original_bias
         assert update.direction_vs_removal == "less"
+        # A removal that overshoots far past zero leaves *more* |bias| than
+        # the update does — the old signed comparison got this backwards.
+        update.removal_bias_change = -1.0
+        assert update.direction_vs_removal == "more"
 
     def test_direction_vs_removal_requires_reference(
         self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
@@ -119,3 +125,90 @@ class TestUpdateOptions:
         )
         with pytest.raises(ValueError, match="removal_bias_change"):
             update.direction_vs_removal
+
+
+class TestSignConventions:
+    """Regression tests for the signed-bias direction bugs: a model whose
+    signed bias is *negative* is repaired by a positive ΔF, which the old
+    signed-ΔF reading mislabeled as "increase"."""
+
+    @staticmethod
+    def _make(original, change, removal=None):
+        return UpdateExplanation(
+            pattern=Pattern([Predicate("age", ">=", 45.0)]),
+            support=0.1,
+            delta=np.zeros(3),
+            changed_features={},
+            est_bias_change=change,
+            removal_bias_change=removal,
+            original_bias=original,
+        )
+
+    def test_negative_bias_repair_reads_decrease(self):
+        # bias −0.2 → −0.12: |bias| shrank; the old code reported "increase".
+        assert self._make(-0.2, +0.08).direction == "decrease"
+
+    def test_negative_bias_worsening_reads_increase(self):
+        # bias −0.2 → −0.28: |bias| grew; the old code reported "decrease".
+        assert self._make(-0.2, -0.08).direction == "increase"
+
+    def test_positive_bias_directions_unchanged(self):
+        assert self._make(0.2, -0.08).direction == "decrease"
+        assert self._make(0.2, +0.08).direction == "increase"
+
+    def test_overshoot_past_zero_reads_increase(self):
+        # bias 0.2 → −0.35: the signed ΔF is negative but |bias| grew.
+        assert self._make(0.2, -0.55).direction == "increase"
+
+    def test_direction_vs_removal_negative_bias(self):
+        # Removal leaves |−0.02|, the update leaves |−0.15| → update is "less".
+        assert self._make(-0.2, +0.05, removal=+0.18).direction_vs_removal == "less"
+        # Update nearly zeroes the bias, removal barely moves it → "more".
+        assert self._make(-0.2, +0.19, removal=+0.05).direction_vs_removal == "more"
+
+    def test_signed_fallback_without_original_bias(self):
+        # Hand-built instances without original_bias keep the legacy signed
+        # reading (correct in the positive-bias regime).
+        legacy = UpdateExplanation(
+            pattern=Pattern([Predicate("age", ">=", 45.0)]),
+            support=0.1,
+            delta=np.zeros(3),
+            changed_features={},
+            est_bias_change=-0.05,
+        )
+        assert legacy.direction == "decrease"
+
+    def test_negative_bias_end_to_end(
+        self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
+        pattern_and_indices,
+    ):
+        """With the privileged groups swapped the signed bias is negative;
+        the search must still shrink |bias| and say so."""
+        flipped = FairnessContext(
+            X=test_ctx.X,
+            y=test_ctx.y,
+            privileged=~test_ctx.privileged,
+            favorable_label=test_ctx.favorable_label,
+        )
+        pattern, indices = pattern_and_indices
+        update = find_update_explanation(
+            lr_model, encoder, X_train, german_train.labels, sp_metric, flipped,
+            pattern, indices, num_steps=40,
+        )
+        assert update.original_bias < 0
+        assert update.est_bias_change > 0  # pushed toward zero
+        assert update.direction == "decrease"
+
+    def test_record_carries_sources(
+        self, lr_model, encoder, X_train, german_train, sp_metric, test_ctx,
+        pattern_and_indices,
+    ):
+        pattern, indices = pattern_and_indices
+        update = find_update_explanation(
+            lr_model, encoder, X_train, german_train.labels, sp_metric, test_ctx,
+            pattern, indices, num_steps=5,
+            removal_bias_change=-0.05, removal_source="estimated",
+        )
+        record = update.to_record()
+        assert record["removal_bias_source"] == "estimated"
+        assert record["original_bias"] == pytest.approx(update.original_bias)
