@@ -54,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("-k", type=int, default=3, help="number of explanations")
     explain.add_argument("--estimator", default="second_order",
                          choices=["first_order", "second_order", "one_step_gd", "retrain"])
+    explain.add_argument("--engine", default="lattice", choices=["lattice", "mining"],
+                         help="candidate-generation backend: the level-wise lattice "
+                         "search or the packed-bitset closed-pattern miner")
     explain.add_argument("--support", type=float, default=0.05, help="support threshold tau")
     explain.add_argument("--max-predicates", type=int, default=3)
     explain.add_argument("--no-verify", action="store_true",
@@ -80,6 +83,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         bundle.model,
         metric=args.metric,
         estimator=args.estimator,
+        engine=args.engine,
         support_threshold=args.support,
         max_predicates=args.max_predicates,
     )

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.fairness.metrics import list_metrics
 
 _ESTIMATORS = ("first_order", "second_order", "one_step_gd", "retrain")
+_ENGINES = ("lattice", "mining")
 
 
 @dataclass
@@ -23,6 +24,21 @@ class GopherConfig:
         ``"first_order"`` for the fastest search on large candidate spaces.
     estimator_kwargs:
         Extra keyword arguments for the estimator constructor.
+    engine:
+        Candidate-generation backend for Algorithm 1.  ``"lattice"`` is
+        the paper's level-wise merge search; ``"mining"`` is the
+        packed-bitset closed-pattern miner (``repro.mining``), which
+        evaluates one candidate per distinct extent and streams influence
+        scoring off packed masks instead of (m, n) boolean matrices.  The
+        miners' top-k output is identical on the benchmark workloads
+        (pinned by tests and ``bench_candidate_mining``); in general the
+        two engines apply heuristic 2 along different search paths — the
+        lattice against its first producing merge pair, the miner
+        order-independently — so adversarial instances can rank the deep
+        tie-heavy tail differently (see ``repro.mining.closed``).
+    search_batch_size:
+        Candidates buffered per batched influence call during the search
+        (both engines).
     support_threshold:
         τ of Algorithm 1 — the paper's experiments use 5%.
     max_predicates:
@@ -57,6 +73,8 @@ class GopherConfig:
     metric: str = "statistical_parity"
     estimator: str = "second_order"
     estimator_kwargs: dict = field(default_factory=dict)
+    engine: str = "lattice"
+    search_batch_size: int = 1024
     support_threshold: float = 0.05
     max_predicates: int = 3
     num_bins: int = 4
@@ -74,6 +92,10 @@ class GopherConfig:
             raise ValueError(f"unknown metric {self.metric!r}; available: {list_metrics()}")
         if self.estimator not in _ESTIMATORS:
             raise ValueError(f"unknown estimator {self.estimator!r}; available: {_ESTIMATORS}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; available: {_ENGINES}")
+        if self.search_batch_size < 1:
+            raise ValueError(f"search_batch_size must be >= 1, got {self.search_batch_size}")
         if not 0.0 <= self.support_threshold < 1.0:
             raise ValueError(f"support_threshold must be in [0, 1), got {self.support_threshold}")
         if not 0.0 < self.containment_threshold <= 1.0:

@@ -15,8 +15,8 @@ from repro.fairness.metrics import FairnessContext, get_metric
 from repro.fairness.report import FairnessReport, fairness_report
 from repro.influence.estimators import InfluenceEstimator, make_estimator
 from repro.influence.retrain import RetrainInfluence
+from repro.mining.engine import make_engine
 from repro.models.base import TwiceDifferentiableClassifier
-from repro.patterns.lattice import compute_candidates
 from repro.patterns.pattern import Pattern
 from repro.patterns.topk import select_top_k
 
@@ -112,16 +112,20 @@ class GopherExplainer:
     def explain(self, k: int = 3, verify: bool = True) -> ExplanationSet:
         """Compute the top-k diverse explanations (Algorithms 1 + 2).
 
-        With ``verify=True`` each selected explanation's subset is actually
-        removed and the model retrained, filling the ground-truth Δbias
-        fields the paper's tables report.
+        Candidate generation goes through the configured engine —
+        ``engine="lattice"`` for the paper's level-wise search,
+        ``engine="mining"`` for the packed-bitset closed-pattern miner;
+        both produce the same top-k.  With ``verify=True`` each selected
+        explanation's subset is actually removed and the model retrained,
+        filling the ground-truth Δbias fields the paper's tables report.
         """
         self._require_fitted()
         assert self.train_data is not None and self.estimator is not None
         cfg = self.config
 
         start = time.perf_counter()
-        lattice = compute_candidates(
+        engine = make_engine(cfg.engine)
+        lattice = engine.generate(
             self.train_data.table,
             self.estimator,
             support_threshold=cfg.support_threshold,
@@ -130,6 +134,7 @@ class GopherExplainer:
             exclude_features=cfg.exclude_features or None,
             prune_by_responsibility=cfg.prune_by_responsibility,
             max_responsibility=cfg.max_responsibility,
+            batch_size=cfg.search_batch_size,
         )
         search_seconds = time.perf_counter() - start
         protected_only = (

@@ -36,6 +36,19 @@ scalar queries so estimators without a closed form (retraining) keep the
 same interface; the closed-form estimators override them with the GEMM
 formulation, and the equivalence test suite pins batch == loop to 1e-10.
 
+Packed batches
+--------------
+The batch entry points additionally accept *packed* subsets: an
+(m, ceil(n/8)) ``np.uint8`` matrix of bit-packed row masks together with
+the keyword ``num_rows=n``.  Packed rows are unpacked ``_PACKED_CHUNK``
+subsets at a time and fed through the boolean-mask machinery chunk by
+chunk, so peak boolean-mask memory is O(_PACKED_CHUNK · n) regardless of
+m — this is the streaming path the closed-pattern mining engine
+(``repro.mining``) relies on to never materialize a full (m, n) bool
+matrix.  Handing the miner's buffers over as giant unpacked bool matrices
+is deprecated in favour of this path; results are bit-identical because
+each chunk runs the exact same mask pipeline.
+
 Evaluation modes
 ----------------
 How Δθ is turned into ΔF is itself a modelling choice, so each estimator
@@ -63,6 +76,10 @@ from repro.fairness.metrics import FairnessContext, FairnessMetric
 from repro.models.base import TwiceDifferentiableClassifier
 
 _EVALUATIONS = ("linear", "smooth", "hard")
+
+# Packed batches unpack at most this many boolean masks at a time, bounding
+# peak mask memory at _PACKED_CHUNK · n bytes however large the batch is.
+_PACKED_CHUNK = 256
 
 
 class InfluenceEstimator(ABC):
@@ -145,12 +162,22 @@ class InfluenceEstimator(ABC):
         return -self.bias_change(indices) / baseline
 
     # -- the batched estimator contract -----------------------------------
-    def param_change_batch(self, subsets) -> np.ndarray:
+    def param_change_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         """Estimated Δθ for every subset in the batch — shape (m, p).
 
-        ``subsets`` is an (m, n) boolean mask matrix or a sequence of index
-        arrays.
+        ``subsets`` is an (m, n) boolean mask matrix, a sequence of index
+        arrays, or — with ``num_rows`` — an (m, ceil(n/8)) uint8 matrix of
+        bit-packed masks, unpacked chunk by chunk.
         """
+        packed = self._check_packed(subsets, num_rows)
+        if packed is not None:
+            chunks = [
+                self._param_change_from_masks(self._check_batch(masks))
+                for masks in self._iter_packed_chunks(packed)
+            ]
+            if not chunks:
+                return np.zeros((0, self.model.num_params))
+            return np.concatenate(chunks, axis=0)
         return self._param_change_from_masks(self._check_batch(subsets))
 
     def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
@@ -166,13 +193,18 @@ class InfluenceEstimator(ABC):
             return np.zeros((0, self.model.num_params))
         return np.stack([self.param_change(np.flatnonzero(row)) for row in masks])
 
-    def bias_change_batch(self, subsets) -> np.ndarray:
+    def bias_change_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         """Estimated ΔF for every subset in the batch — shape (m,).
 
         The Δθ's come from the :meth:`param_change` batch hook; the
         evaluation mode is applied to all m perturbed parameter vectors in
-        one vectorized pass (see the module docstring).
+        one vectorized pass (see the module docstring).  Packed uint8
+        batches (with ``num_rows``) stream through in bounded-memory
+        chunks.
         """
+        packed = self._check_packed(subsets, num_rows)
+        if packed is not None:
+            return self._packed_bias_change(packed)
         masks = self._check_batch(subsets)
         if masks.shape[0] == 0:
             return np.zeros(0)
@@ -186,16 +218,57 @@ class InfluenceEstimator(ABC):
         after = self.metric.value_batch(self.model, self.test_ctx, thetas)
         return after - self.original_bias
 
-    def responsibility_batch(self, subsets) -> np.ndarray:
+    def responsibility_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         """Causal responsibility R_F(S) for every subset — shape (m,)."""
         baseline = (
             self.original_surrogate if self.evaluation == "smooth" else self.original_bias
         )
         if baseline == 0.0:
             raise ZeroDivisionError("original bias is zero; responsibility is undefined")
-        return -self.bias_change_batch(subsets) / baseline
+        return -self.bias_change_batch(subsets, num_rows=num_rows) / baseline
 
     # -- helpers ----------------------------------------------------------
+    def _check_packed(self, subsets, num_rows: int | None) -> np.ndarray | None:
+        """Validate a packed uint8 batch; None when ``subsets`` is not one.
+
+        ``num_rows`` is the contract marker for the packed representation —
+        without it a 2-D uint8 array is rejected by :meth:`_check_batch`
+        (reading 0/1 bytes as bit-packs would silently score the wrong
+        subsets), and with it anything but a packed matrix over the
+        training rows is an error.
+        """
+        if num_rows is None:
+            return None
+        if num_rows != self.num_train:
+            raise ValueError(
+                f"packed batches cover {num_rows} rows, expected {self.num_train}"
+            )
+        packed = np.asarray(subsets)
+        if packed.ndim != 2 or packed.dtype != np.uint8:
+            raise ValueError(
+                "num_rows implies a packed batch: an (m, ceil(n/8)) uint8 matrix "
+                f"of bit-packed masks, got {packed.dtype} array of shape {packed.shape}"
+            )
+        width = (num_rows + 7) // 8  # np.packbits layout, as in repro.mining.bitset
+        if packed.shape[1] != width:
+            raise ValueError(
+                f"packed mask matrix has {packed.shape[1]} byte columns, expected "
+                f"{width} for {num_rows} rows"
+            )
+        return packed
+
+    def _iter_packed_chunks(self, packed: np.ndarray):
+        """Unpack a packed batch ``_PACKED_CHUNK`` subsets at a time."""
+        for start in range(0, packed.shape[0], _PACKED_CHUNK):
+            chunk = packed[start : start + _PACKED_CHUNK]
+            yield np.unpackbits(chunk, axis=1, count=self.num_train).astype(bool)
+
+    def _packed_bias_change(self, packed: np.ndarray) -> np.ndarray:
+        """Chunked ΔF over a packed batch via the public boolean-mask path,
+        so subclass overrides (e.g. first-order linear) apply per chunk."""
+        chunks = [self.bias_change_batch(masks) for masks in self._iter_packed_chunks(packed)]
+        return np.concatenate(chunks) if chunks else np.zeros(0)
+
     def _check_batch(self, subsets) -> np.ndarray:
         """Normalize a batch to an (m, n) boolean mask matrix.
 

@@ -64,9 +64,12 @@ class FirstOrderInfluence(InfluenceEstimator):
         indices = self._subset_size_ok(indices)
         return float(self.point_influences()[indices].sum())
 
-    def bias_change_batch(self, subsets) -> np.ndarray:
+    def bias_change_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         if self.evaluation != "linear":
-            return super().bias_change_batch(subsets)
+            return super().bias_change_batch(subsets, num_rows=num_rows)
+        packed = self._check_packed(subsets, num_rows)
+        if packed is not None:
+            return self._packed_bias_change(packed)
         masks = self._check_batch(subsets)
         # Linearized ΔF is additive over points, so the whole batch is one
         # mask-matrix / point-influence product — no solve at all.

@@ -1,0 +1,110 @@
+"""Packed-bitset primitives for the closed-pattern mining engine.
+
+A *tidlist* (transaction-id list) is the set of training rows a predicate —
+or a conjunction of predicates — covers.  The miner stores every tidlist as
+a packed ``np.uint8`` row of ``ceil(n / 8)`` bytes instead of an ``(n,)``
+boolean array, so the working set of a depth-``d`` search path is
+``O(d · n/8)`` bytes rather than ``O(level_width · n)``.
+
+Cost model
+----------
+* ``intersect`` — one vectorized ``bitwise_and`` over ``n/8`` bytes; the
+  per-node cost of descending one edge of the pattern lattice.
+* ``popcount`` — one table lookup plus a reduction over ``n/8`` bytes (or a
+  native ``np.bitwise_count`` where NumPy provides it); the per-node support
+  check.
+* ``covers_all`` — one broadcast AND + popcount over a ``(k, n/8)`` tidlist
+  matrix; the per-node closure computation of the LCM-style miner.
+
+All helpers preserve the invariant that the padding bits of the final byte
+are zero: ``pack_rows`` inherits it from ``np.packbits`` (which zero-pads),
+and intersections of zero-padded rows stay zero-padded, so popcounts and
+byte-wise equality are exact without masking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# np.bitwise_count arrived in NumPy 2.0; the lookup table keeps the miner
+# working (at byte-LUT speed) on the 1.x line the CI matrix still includes.
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_POPCOUNT_LUT = np.array([bin(v).count("1") for v in range(256)], dtype=np.int64)
+
+
+def packed_width(num_rows: int) -> int:
+    """Bytes per packed tidlist covering ``num_rows`` rows."""
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+    return (num_rows + 7) // 8
+
+
+def pack_rows(masks: np.ndarray) -> np.ndarray:
+    """Pack boolean masks into uint8 rows (one packed row per mask).
+
+    Accepts an ``(n,)`` mask or an ``(m, n)`` mask matrix; returns
+    ``(ceil(n/8),)`` or ``(m, ceil(n/8))`` uint8 with zero padding bits.
+    """
+    masks = np.asarray(masks)
+    if masks.dtype != bool:
+        raise ValueError(f"masks must be boolean, got dtype {masks.dtype}")
+    if masks.ndim == 1:
+        return np.packbits(masks)
+    if masks.ndim == 2:
+        return np.packbits(masks, axis=1)
+    raise ValueError(f"masks must be 1-D or 2-D, got shape {masks.shape}")
+
+
+def unpack_rows(packed: np.ndarray, num_rows: int) -> np.ndarray:
+    """Unpack uint8 rows back to boolean masks of length ``num_rows``."""
+    packed = np.asarray(packed)
+    if packed.dtype != np.uint8:
+        raise ValueError(f"packed tidlists must be uint8, got dtype {packed.dtype}")
+    width = packed_width(num_rows)
+    if packed.shape[-1] != width:
+        raise ValueError(
+            f"packed width {packed.shape[-1]} does not cover {num_rows} rows "
+            f"(expected {width} bytes)"
+        )
+    if packed.ndim == 1:
+        return np.unpackbits(packed, count=num_rows).astype(bool)
+    if packed.ndim == 2:
+        return np.unpackbits(packed, axis=1, count=num_rows).astype(bool)
+    raise ValueError(f"packed tidlists must be 1-D or 2-D, got shape {packed.shape}")
+
+
+def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise AND of packed tidlists (broadcasts like ``np.bitwise_and``)."""
+    return np.bitwise_and(a, b)
+
+
+def popcount(packed: np.ndarray) -> np.ndarray | int:
+    """Number of set bits per packed row (scalar for a single row).
+
+    For a ``(w,)`` row returns an int; for an ``(m, w)`` matrix returns an
+    ``(m,)`` int64 array.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if _HAVE_BITWISE_COUNT:
+        counts = np.bitwise_count(packed).astype(np.int64)
+    else:
+        counts = _POPCOUNT_LUT[packed]
+    summed = counts.sum(axis=-1)
+    return int(summed) if packed.ndim == 1 else summed
+
+
+def covers_all(tidlists: np.ndarray, extent: np.ndarray) -> np.ndarray:
+    """For each packed tidlist, does it cover every row of ``extent``?
+
+    ``tidlists`` is a ``(k, w)`` packed matrix, ``extent`` a ``(w,)`` packed
+    row.  Returns a ``(k,)`` boolean array with ``out[i]`` true iff
+    ``tidlists[i] ⊇ extent`` — the closure membership test, one broadcast
+    AND over the whole alphabet per lattice node.
+    """
+    return ~np.any((tidlists & extent[None, :]) != extent[None, :], axis=1)
+
+
+def extent_key(packed: np.ndarray) -> bytes:
+    """Hashable identity of a packed extent (padding bits are zero, so equal
+    row sets always map to equal keys)."""
+    return np.ascontiguousarray(packed).tobytes()

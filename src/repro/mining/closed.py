@@ -1,0 +1,501 @@
+"""Closed-pattern enumeration over packed tidlists (vertical mining).
+
+The lattice search of Algorithm 1 (``repro.patterns.lattice``) enumerates
+*patterns* level by level, so several candidates describing the exact same
+training subset — the same *extent* — are all generated and (unless one
+collapses onto a direct parent) all evaluated.  This module enumerates one
+node per distinct extent instead, depth-first by vertical tidlist
+intersection (the Eclat/LCM family of miners, cf. scikit-mine), with the
+paper's two pruning heuristics applied per node.
+
+The item alphabet is the level-1 predicate set of Algorithm 1 (every
+single predicate whose support strictly exceeds τ), each carrying its
+packed tidlist, ordered frequency-ascending.  A search node is the extent
+``e = ⋂ tid`` of a *strictly shrinking* ascending item path — extensions
+that leave the extent unchanged (items already in its closure) are
+skipped, so path depth equals generator size and the ``max_predicates``
+cap bounds exactly the pattern sizes Algorithm 1 explores.  Every such
+extent is closed (it equals the intersection of all alphabet tidlists
+covering it), and sibling/cross-branch duplicates are deduplicated by
+extent key, so each distinct extent is scored once.  Classic LCM instead
+walks prefix-preserving *closure* extensions; that enumeration is
+output-linear but its canonical paths can be longer than the smallest
+generator, which under a generator-size cap silently loses extents the
+lattice reaches — completeness matters more here than per-node
+output-linearity.
+
+Cost model
+----------
+* **start-up** — one packed tidlist per level-1 predicate (``K · n/8``
+  bytes) plus one batched influence query over the distinct level-1
+  extents (exactly the evaluations Algorithm 1 spends on level 1, minus
+  duplicate extents).
+* **per node** — one bitset AND + one popcount per attempted extension
+  (support check; see ``repro.mining.bitset``).  No influence work, no
+  boolean masks.
+* **per buffer** — frontier nodes are buffered up to ``batch_size`` packed
+  extents and scored in one ``bias_change_batch(packed, num_rows=n)``
+  call; the estimator unpacks the buffer chunk-by-chunk internally, so the
+  search never materializes an (m, n) boolean mask matrix (one unpack +
+  one GEMM per chunk — the packed cost model of
+  ``repro.influence.estimators``).
+* **per emitted extent** — one broadcast AND + popcount against the
+  ``(K, n/8)`` tidlist matrix to recover the closure, then the generator
+  replay of :class:`_GeneratorReplay` to pick the reported pattern.
+
+Memory per search path is ``O(depth · n/8)`` for the extents plus the
+``O(batch_size · n/8)`` packed buffer, instead of the
+``O(level_width · n)`` boolean masks the lattice holds per level.
+
+Pruning mirrors Algorithm 1: support must stay strictly above τ
+(anti-monotone, kills the subtree), and with ``prune_by_responsibility`` a
+node survives only when its estimated responsibility strictly exceeds the
+responsibility of its in-window ancestors (see
+:func:`repro.patterns.lattice._parent_bar` for the root-cause window).
+At depth 2 the DFS parent and extension item are exactly the lattice's
+two merge parents; deeper, the bar is one-sided on the DFS parent, so a
+node the lattice evaluates is never rejected *at the node itself* for a
+reason the lattice wouldn't have.  Two path-level gaps versus Algorithm 1
+remain inherent to depth-first search and are accepted (the engine
+equivalence suite pins the workloads where they never fire):
+
+* pruning a node kills its whole ascending subtree, while the lattice
+  can still reach a deeper pattern through an alternative surviving
+  merge pair (e.g. ``abc`` via ``ac``+``bc`` after ``ab`` died);
+* the lattice's own bar is path-dependent — each merged pattern is
+  tested against the *first producing pair* in its deterministic bucket
+  order — which the extent-level emission replay below approximates
+  order-independently with all surviving sub-patterns.
+
+Because several patterns can share one closed extent, each emitted node is
+reported under a *representative* pattern: the lexicographically smallest
+generator of its extent (in the canonical predicate order) that the
+lattice's pruning would also have let through — which is exactly the
+pattern Algorithm 2's deterministic tie-break would pick among the
+lattice's duplicates, so the two engines agree on top-k output while the
+miner evaluates each distinct extent once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.influence.estimators import InfluenceEstimator
+from repro.mining.bitset import covers_all, extent_key, pack_rows, popcount
+from repro.patterns.candidates import generate_single_predicates
+from repro.patterns.lattice import LatticeLevelStats, PatternStats, _baseline, _parent_bar
+from repro.patterns.pattern import Pattern
+from repro.patterns.predicate import Predicate
+from repro.tabular import Table
+
+
+@dataclass
+class _Node:
+    """One extent on the search frontier."""
+
+    extent: np.ndarray  # (w,) uint8 — packed row mask of the extent
+    count: int  # |extent|
+    last_item: int  # index of the last extension item on the path
+    depth: int  # number of extension items on the path (= generator size)
+    bar: float  # responsibility the node must strictly exceed
+    responsibility: float = 0.0
+    bias_change: float = 0.0
+
+
+@dataclass
+class MinedCandidates:
+    """Raw miner output, wrapped into a ``CandidateResult`` by the engine.
+
+    ``levels`` maps the miner's per-depth accounting onto the lattice's
+    Table-7 shape: candidates = nodes surviving pruning at that depth,
+    merges tried = attempted extensions, seconds = that depth's share of
+    *influence-evaluation* time (flushes of the packed buffer).  Bitset
+    traversal and the emission replay are not in any depth bucket, so the
+    per-depth seconds sum to less than the engine's wall time — unlike
+    the lattice, whose level timers are wall-clock per level.
+    """
+
+    candidates: list[PatternStats]
+    levels: list[LatticeLevelStats]
+    num_evaluated: int
+    num_closed: int
+
+
+class _InfluenceCache:
+    """Extent-keyed influence results, filled by batched packed queries."""
+
+    def __init__(self, estimator: InfluenceEstimator, num_rows: int, batch_size: int) -> None:
+        self.estimator = estimator
+        self.num_rows = num_rows
+        self.batch_size = batch_size
+        self.baseline = _baseline(estimator)
+        self.by_key: dict[bytes, tuple[float, float]] = {}
+        self.num_evaluated = 0
+
+    def evaluate(self, extents: list[np.ndarray]) -> None:
+        """Score every not-yet-seen extent, ``batch_size`` per packed call."""
+        fresh: list[np.ndarray] = []
+        claimed: set[bytes] = set()
+        for extent in extents:
+            key = extent_key(extent)
+            if key not in self.by_key and key not in claimed:
+                claimed.add(key)
+                fresh.append(extent)
+        for start in range(0, len(fresh), self.batch_size):
+            chunk = fresh[start : start + self.batch_size]
+            packed = np.stack(chunk)
+            bias_changes = self.estimator.bias_change_batch(packed, num_rows=self.num_rows)
+            if self.baseline != 0.0:
+                responsibilities = -bias_changes / self.baseline
+            else:
+                responsibilities = np.zeros_like(bias_changes)
+            for extent, resp, dbias in zip(chunk, responsibilities, bias_changes):
+                self.by_key[extent_key(extent)] = (float(resp), float(dbias))
+            self.num_evaluated += len(chunk)
+
+    def lookup(self, extent: np.ndarray) -> tuple[float, float]:
+        return self.by_key[extent_key(extent)]
+
+    def responsibility_of(self, extent: np.ndarray) -> float | None:
+        found = self.by_key.get(extent_key(extent))
+        return None if found is None else found[0]
+
+
+def mine_closed_candidates(
+    table: Table,
+    estimator: InfluenceEstimator,
+    support_threshold: float = 0.05,
+    max_predicates: int = 3,
+    num_bins: int = 4,
+    exclude_features: set[str] | None = None,
+    prune_by_responsibility: bool = True,
+    min_responsibility: float = 0.0,
+    max_responsibility: float = 1.25,
+    batch_size: int = 1024,
+) -> MinedCandidates:
+    """Mine all closed candidate explanations of ``table``.
+
+    Parameters mirror :func:`repro.patterns.lattice.compute_candidates`
+    exactly — the two are interchangeable candidate-generation backends
+    behind :class:`repro.mining.engine.CandidateEngine`.  ``batch_size``
+    bounds how many packed extents are buffered per influence call (the
+    boolean unpack inside the estimator is further chunked, so it does not
+    bound mask memory — the packed representation does).
+    """
+    if max_predicates < 1:
+        raise ValueError(f"max_predicates must be >= 1, got {max_predicates}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    num_rows = table.num_rows
+    if num_rows != estimator.num_train:
+        raise ValueError(
+            f"table rows ({num_rows}) must match estimator training rows "
+            f"({estimator.num_train}); patterns quantify over the training data"
+        )
+
+    start = time.perf_counter()
+    singles = [
+        (predicate, mask)
+        for predicate, mask in generate_single_predicates(
+            table, support_threshold, num_bins, exclude_features
+        )
+        if not mask.all()  # full-coverage patterns have no explanatory value
+    ]
+    # Frequency-ascending item order (LCM's standard heuristic), sort-key
+    # tie-broken for determinism.  Rarest-first matters beyond speed here:
+    # an item subsumed by another (e.g. ``age >= 46`` inside ``age >= 38``)
+    # must come *before* its subsumer, so closures list subsuming items
+    # after the canonical prefix and nested-threshold chains don't inflate
+    # the canonical path depth past the generator size.
+    singles.sort(key=lambda pair: (int(pair[1].sum()), pair[0].sort_key()))
+    predicates: list[Predicate] = [predicate for predicate, _ in singles]
+    if not singles:
+        return MinedCandidates([], [LatticeLevelStats(1, 0, 0, time.perf_counter() - start)], 0, 0)
+    tids = pack_rows(np.stack([mask for _, mask in singles]))  # (K, w)
+    num_items = len(singles)
+
+    cache = _InfluenceCache(estimator, num_rows, batch_size)
+    # Level-1 pre-pass: every distinct item extent in one batched sweep —
+    # the same influence work Algorithm 1 spends on level 1, minus
+    # duplicate extents — so every deeper node can form its pruning bar
+    # from its extension item's responsibility.
+    cache.evaluate(list(tids))
+    item_resp = np.array([cache.lookup(tids[j])[0] for j in range(num_items)])
+
+    tried = _DepthCounter()
+    survivors = _DepthCounter()
+    seconds = _DepthCounter()
+
+    def children(node: _Node) -> list[_Node]:
+        out: list[_Node] = []
+        siblings: set[bytes] = set()
+        for j in range(node.last_item + 1, num_items):
+            tried.add(node.depth + 1, 1)
+            extent = node.extent & tids[j]
+            count = int(popcount(extent))
+            if count == node.count:
+                # Item j covers the whole extent (it is in the closure):
+                # the pattern gains a redundant predicate and nothing
+                # shrinks.  Skipping keeps path depth equal to generator
+                # size, which is what the max_predicates cap must bound.
+                continue
+            # Same expression as the lattice's support check — support is
+            # a float division there, and τ·n can round differently.
+            if count / num_rows <= support_threshold:
+                continue
+            key = extent_key(extent)
+            if key in siblings:
+                # A sibling with a smaller extension item reached the same
+                # extent; its subtree covers a superset of this one's
+                # extension range, so this branch adds nothing.
+                continue
+            siblings.add(key)
+            if not prune_by_responsibility or node.depth == 0:
+                bar = -np.inf
+            elif node.depth == 1:
+                # A depth-2 node's DFS parent and extension item are
+                # exactly the lattice's two level-1 merge parents.
+                bar = _parent_bar(node.responsibility, item_resp[j], max_responsibility)
+            else:
+                # Deeper, the extension item is a *level-1* ancestor the
+                # lattice never compares against — folding it in could
+                # prune subtrees the lattice keeps (unrecoverable), so the
+                # descent bar uses the DFS parent only; the extra
+                # survivors this admits are filtered per node by the
+                # emission replay, which can only drop, never resurrect.
+                bar = _parent_bar(node.responsibility, -np.inf, max_responsibility)
+            out.append(_Node(extent, count, j, node.depth + 1, bar))
+        return out
+
+    root = _Node(
+        extent=pack_rows(np.ones(num_rows, dtype=bool)),
+        count=num_rows,
+        last_item=-1,
+        depth=0,
+        bar=-np.inf,
+    )
+    pending: list[_Node] = children(root)
+    expandable: list[_Node] = []
+    emitted: list[_Node] = []
+    emitted_keys: set[bytes] = set()
+    visited_keys: set[bytes] = set()
+
+    while pending or expandable:
+        if expandable and len(pending) < batch_size:
+            # Descend (LIFO keeps the frontier depth-first and the packed
+            # working set small) until a full buffer is ready to score.
+            pending.extend(children(expandable.pop()))
+            continue
+        batch = pending[:batch_size]
+        del pending[: len(batch)]
+        flush_start = time.perf_counter()
+        cache.evaluate([node.extent for node in batch])
+        flush_seconds = time.perf_counter() - flush_start
+        for node in batch:
+            visited_keys.add(extent_key(node.extent))
+            seconds.add(node.depth, flush_seconds / len(batch))
+            node.responsibility, node.bias_change = cache.lookup(node.extent)
+            if prune_by_responsibility and node.responsibility <= node.bar:
+                continue  # heuristic 2 — the whole subtree dies with it
+            survivors.add(node.depth, 1)
+            if node.responsibility >= min_responsibility:
+                key = extent_key(node.extent)
+                if key not in emitted_keys:
+                    # The same extent can be revisited through another
+                    # branch; the representative is extent-determined, so
+                    # the first unpruned occurrence stands for all.
+                    emitted_keys.add(key)
+                    emitted.append(node)
+            if node.depth < max_predicates:
+                expandable.append(node)
+    num_closed = len(visited_keys)
+    replay = _GeneratorReplay(
+        predicates, tids, cache, max_predicates, prune_by_responsibility, max_responsibility
+    )
+    candidates = []
+    for node in emitted:
+        pattern = replay.representative(node)
+        if pattern is None:
+            # Every generator of this extent fails the lattice's strict
+            # improvement test against its own sub-patterns; Algorithm 1
+            # would not have emitted any pattern for it.
+            continue
+        candidates.append(
+            PatternStats(
+                pattern=pattern,
+                support=node.count / num_rows,
+                size=node.count,
+                responsibility=node.responsibility,
+                bias_change=node.bias_change,
+                _packed_mask=node.extent,
+                _num_rows=num_rows,
+            )
+        )
+    levels = [
+        LatticeLevelStats(
+            depth, int(survivors.get(depth)), int(tried.get(depth)), seconds.get(depth)
+        )
+        for depth in range(1, max_predicates + 1)
+        if tried.get(depth) or survivors.get(depth) or depth == 1
+    ]
+    return MinedCandidates(candidates, levels, cache.num_evaluated, num_closed)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _DepthCounter:
+    values: dict[int, float] = field(default_factory=dict)
+
+    def add(self, depth: int, amount: float) -> None:
+        self.values[depth] = self.values.get(depth, 0.0) + amount
+
+    def get(self, depth: int) -> float:
+        return self.values.get(depth, 0.0)
+
+    def total(self) -> float:
+        return sum(self.values.values())
+
+
+class _GeneratorReplay:
+    """Replays Algorithm 1's per-pattern pruning over generator sub-lattices.
+
+    The lattice emits every *generator* of an extent that survives its
+    strict-improvement pruning; since equal-extent patterns share one
+    (support, responsibility) pair, Algorithm 2's tie-break resolves them
+    to the canonically smallest survivor and its containment filter drops
+    the rest.  The miner evaluated each extent once, so to report the same
+    winning pattern it replays the lattice's survival test symbolically:
+
+    * a single-predicate pattern always survives (level 1 is unpruned);
+    * a k-predicate pattern must be *formable* — at least two of its
+      (k−1)-sub-patterns survived, the merge-pair requirement — and its
+      responsibility must strictly exceed every in-window surviving
+      parent's.
+
+    The last test is deliberately an approximation: the lattice compares
+    against the *first producing merge pair* in its deterministic bucket
+    order, which this extent-level replay cannot reconstruct; checking
+    all surviving parents is equivalent whenever responsibility grows
+    along in-window chains (which pruning itself enforces through the
+    producing pair), and can only be stricter otherwise.  The engine
+    equivalence suite pins the configurations where the two coincide.
+
+    Sub-pattern responsibilities come from the miner's extent cache;
+    sub-extents the traversal never scored (their canonical closed node
+    fell to support pruning of a different branch shape) are evaluated
+    lazily in one batched query per node — extents the lattice paid for
+    as ordinary level-(k−1) candidates anyway.
+    """
+
+    def __init__(
+        self,
+        predicates: list[Predicate],
+        tids: np.ndarray,
+        cache: _InfluenceCache,
+        max_predicates: int,
+        prune_by_responsibility: bool,
+        max_responsibility: float,
+    ) -> None:
+        self.predicates = predicates
+        self.tids = tids
+        self.cache = cache
+        self.max_predicates = max_predicates
+        self.prune_by_responsibility = prune_by_responsibility
+        self.max_responsibility = max_responsibility
+        self._survives: dict[tuple[int, ...], bool] = {}
+
+    # -- generator enumeration -----------------------------------------
+    def _pattern_key(self, combo: tuple[int, ...]) -> tuple:
+        return tuple(self.predicates[j].sort_key() for j in combo)
+
+    def _extent_of(self, combo) -> np.ndarray:
+        extent = self.tids[combo[0]]
+        for j in combo[1:]:
+            extent = extent & self.tids[j]
+        return extent
+
+    def _generators(self, node: _Node) -> list[tuple[int, ...]]:
+        """All generators of the node's extent with ≤ ``max_predicates`` items."""
+        members = np.flatnonzero(covers_all(self.tids, node.extent))
+        # Items with byte-identical tidlists are interchangeable in any
+        # generator; keeping only the sort-key-smallest of each group
+        # preserves the lexicographic minimum while shrinking the search.
+        by_tid: dict[bytes, int] = {}
+        for j in members:
+            key = extent_key(self.tids[j])
+            best = by_tid.get(key)
+            if best is None or self.predicates[j].sort_key() < self.predicates[best].sort_key():
+                by_tid[key] = int(j)
+        unique = sorted(by_tid.values(), key=lambda j: self.predicates[j].sort_key())
+
+        generators: list[tuple[int, ...]] = []
+        for size in range(1, min(self.max_predicates, len(unique)) + 1):
+            for combo in itertools.combinations(unique, size):
+                # Members cover the extent by closure, so the intersection
+                # always contains it — equal popcount means equal extent.
+                if int(popcount(self._extent_of(combo))) == node.count:
+                    generators.append(combo)
+        return generators
+
+    # -- the survival replay -------------------------------------------
+    def _ensure_scored(self, combos: list[tuple[int, ...]]) -> None:
+        """Lazily score every sub-pattern extent the replay will consult."""
+        needed: list[np.ndarray] = []
+        for combo in combos:
+            stack = [combo]
+            while stack:
+                current = stack.pop()
+                if len(current) < 2 or current in self._survives:
+                    continue
+                needed.append(self._extent_of(current))
+                for drop in range(len(current)):
+                    stack.append(current[:drop] + current[drop + 1 :])
+        self.cache.evaluate(needed)
+
+    def survives(self, combo: tuple[int, ...]) -> bool:
+        if len(combo) == 1:
+            return True
+        cached = self._survives.get(combo)
+        if cached is not None:
+            return cached
+        responsibility = self.cache.responsibility_of(self._extent_of(combo))
+        assert responsibility is not None  # _ensure_scored ran first
+        parents = [combo[:drop] + combo[drop + 1 :] for drop in range(len(combo))]
+        surviving = [p for p in parents if self.survives(p)]
+        formable = len(combo) == 2 or len(surviving) >= 2
+        bars = [
+            resp
+            for p in surviving
+            if (resp := self.cache.responsibility_of(self._extent_of(p))) is not None
+            and 0.0 < resp <= self.max_responsibility
+        ]
+        alive = formable and (not bars or responsibility > max(bars))
+        self._survives[combo] = alive
+        return alive
+
+    def representative(self, node: _Node) -> Pattern | None:
+        """The surviving pattern Algorithm 2 would pick, or None if the
+        lattice's pruning leaves no pattern for this extent."""
+        generators = self._generators(node)
+        if not self.prune_by_responsibility:
+            # Without heuristic 2 the lattice emits redundant-predicate
+            # patterns too; the tie-break ranges over all generators.
+            chosen = min(generators, key=self._pattern_key)
+            return Pattern([self.predicates[j] for j in chosen])
+        # The replay ranges over ALL generators, not just minimal ones: a
+        # redundant predicate usually collapses onto its same-extent
+        # parent and dies on the strict improvement test (which survives()
+        # reproduces — that parent's bar equals the pattern's own
+        # responsibility), but when that parent was itself pruned the
+        # lattice can reach the redundant pattern through a sibling pair
+        # and emit it, and its sort key can even precede the minimal
+        # generator's.
+        self._ensure_scored(generators)
+        for combo in sorted(generators, key=self._pattern_key):
+            if self.survives(combo):
+                return Pattern([self.predicates[j] for j in combo])
+        return None

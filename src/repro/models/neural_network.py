@@ -144,6 +144,44 @@ class NeuralNetwork(TwiceDifferentiableClassifier):
         p = _sigmoid(z)
         return (p * (1.0 - p))[:, None] * self._logit_jacobian(X, a, th)
 
+    def input_grads(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        vector: np.ndarray,
+        theta: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # With dz = σ(z) − y and s = vᵀ∇_θz, the scalar is
+        #   vᵀ∇_θℓ(z, θ) = dz·s + λ vᵀθ,
+        # so ∇_x = σ'(z)·s·∇_x z + dz·∇_x s.  Writing a = tanh(W₁x + b₁),
+        # t = 1 − a², u_h = v_{W₁}[h]·x + v_{b₁}[h]:
+        #   s      = Σ_h w₂_h t_h u_h + v_{w₂}ᵀa + v_{b₂}
+        #   ∇_x z  = (w₂ ⊙ t) W₁
+        #   ∇_x s  = (t ⊙ w₂) v_{W₁} + (t ⊙ (v_{w₂} − 2 a ⊙ w₂ ⊙ u)) W₁
+        # (the −2a term is the second tanh derivative appearing because s
+        # already contains one backward pass).  All rows vectorize to four
+        # (n, h) element-wise products and three GEMMs.
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.num_params,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.num_params},)")
+        w1, _, w2, _ = self._unpack(th)
+        d, h = self._num_features, self.hidden_units
+        v_w1 = vector[: h * d].reshape(h, d)
+        v_b1 = vector[h * d : h * d + h]
+        v_w2 = vector[h * d + h : h * d + 2 * h]
+        v_b2 = float(vector[-1])
+        a, z = self._forward(X, th)
+        t = 1.0 - a**2
+        u = X @ v_w1.T + v_b1[None, :]
+        s = (w2[None, :] * t * u).sum(axis=1) + a @ v_w2 + v_b2
+        p = _sigmoid(z)
+        dz = p - y
+        grad_z_x = (w2[None, :] * t) @ w1
+        grad_s_x = (t * w2[None, :]) @ v_w1 + (t * (v_w2[None, :] - 2.0 * a * w2[None, :] * u)) @ w1
+        return (p * (1.0 - p) * s)[:, None] * grad_z_x + dz[:, None] * grad_s_x
+
     def hessian(
         self, X: np.ndarray, y: np.ndarray, theta: np.ndarray | None = None
     ) -> np.ndarray:

@@ -121,6 +121,32 @@ class LinearSVM(TwiceDifferentiableClassifier):
         active = (signed * (Xa @ th)) < 1.0
         return Xa, 2.0 * active.astype(np.float64), self.l2_reg
 
+    def input_grads(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        vector: np.ndarray,
+        theta: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # vᵀ∇_θℓ(z, θ) = −2·max(0, 1 − m)·ỹ·(vᵀx̃) + λ vᵀθ with m = ỹ·θᵀx̃,
+        # ỹ = 2y − 1.  Differentiating in x (the L2 term is constant, ỹ² = 1):
+        #   ∇_x = 2·1[m < 1]·(vᵀx̃)·θ_x − 2·max(0, 1 − m)·ỹ·v_x
+        # with θ_x, v_x the non-intercept slices.  The active-margin
+        # indicator matches the subgradient convention of per_sample_grads
+        # (zero exactly at the kink m = 1).
+        X, y = self._check_xy(X, y)
+        th = self._resolve_theta(theta)
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.num_params,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.num_params},)")
+        Xa = self._augment(X)
+        signed = 2.0 * y - 1.0
+        slack = np.maximum(0.0, 1.0 - signed * (Xa @ th))
+        active = (slack > 0.0).astype(np.float64)
+        d = X.shape[1]
+        curvature = 2.0 * active * (Xa @ vector)
+        return curvature[:, None] * th[None, :d] + (-2.0 * slack * signed)[:, None] * vector[None, :d]
+
     def grad_proba(self, X: np.ndarray, theta: np.ndarray | None = None) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
         th = self._resolve_theta(theta)

@@ -86,10 +86,18 @@ class LatticeLevelStats:
 
 @dataclass
 class LatticeResult:
-    """Everything Algorithm 1 returns: candidates plus per-level stats."""
+    """Everything Algorithm 1 returns: candidates plus per-level stats.
+
+    ``num_evaluated`` counts the influence evaluations actually issued —
+    merges that reuse a parent's evaluation (collapsed row sets) are
+    excluded.  The closed-pattern miner (``repro.mining``) reports the
+    same counter, which is how the candidate-space reduction of mining
+    closed extents is measured.
+    """
 
     candidates: list[PatternStats]
     levels: list[LatticeLevelStats]
+    num_evaluated: int = 0
 
     @property
     def num_candidates(self) -> int:
@@ -176,6 +184,7 @@ def compute_candidates(
     responsibilities, bias_changes = _evaluate_all(
         estimator, [mask for _, mask in survivors], batch, batch_size
     )
+    num_evaluated = len(survivors)
     current: list[tuple[Pattern, np.ndarray, int, float, float]] = []
     for (pattern, mask), resp, dbias in zip(survivors, responsibilities, bias_changes):
         current.append((pattern, mask, int(mask.sum()), resp, dbias))
@@ -227,12 +236,9 @@ def compute_candidates(
             )
 
         # Evaluate phase: one batched influence query per chunk.
-        responsibilities, bias_changes = _evaluate_all(
-            estimator,
-            [mask for _, mask, _, _, known in merged_survivors if known is None],
-            batch,
-            batch_size,
-        )
+        to_evaluate = [mask for _, mask, _, _, known in merged_survivors if known is None]
+        responsibilities, bias_changes = _evaluate_all(estimator, to_evaluate, batch, batch_size)
+        num_evaluated += len(to_evaluate)
 
         # Prune phase: heuristic 2 against the recorded parent bars.
         next_level = []
@@ -251,7 +257,7 @@ def compute_candidates(
         current = next_level
         level += 1
 
-    return LatticeResult(candidates=all_stats, levels=levels)
+    return LatticeResult(candidates=all_stats, levels=levels, num_evaluated=num_evaluated)
 
 
 # ----------------------------------------------------------------------

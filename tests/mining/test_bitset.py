@@ -1,0 +1,121 @@
+"""Unit tests for the packed-bitset primitives."""
+
+import numpy as np
+import pytest
+
+from repro.mining.bitset import (
+    covers_all,
+    extent_key,
+    intersect,
+    pack_rows,
+    packed_width,
+    popcount,
+    unpack_rows,
+)
+
+
+def random_masks(m, n, seed=0, p=0.4):
+    return np.random.default_rng(seed).random((m, n)) < p
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 64, 100, 1000])
+    def test_roundtrip_matrix(self, n):
+        masks = random_masks(5, n, seed=n)
+        packed = pack_rows(masks)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (5, packed_width(n))
+        np.testing.assert_array_equal(unpack_rows(packed, n), masks)
+
+    def test_roundtrip_single_row(self):
+        mask = random_masks(1, 37)[0]
+        packed = pack_rows(mask)
+        assert packed.shape == (packed_width(37),)
+        np.testing.assert_array_equal(unpack_rows(packed, 37), mask)
+
+    def test_padding_bits_are_zero(self):
+        mask = np.ones(9, dtype=bool)
+        packed = pack_rows(mask)
+        assert packed[1] == 0b10000000  # row 8 set, pad bits clear
+
+    def test_matches_pattern_stats_layout(self):
+        """PatternStats packs with np.packbits; the miner must agree so its
+        extents slot into PatternStats unchanged."""
+        mask = random_masks(1, 123, seed=3)[0]
+        np.testing.assert_array_equal(pack_rows(mask), np.packbits(mask))
+
+    def test_non_boolean_rejected(self):
+        with pytest.raises(ValueError, match="boolean"):
+            pack_rows(np.zeros((2, 8), dtype=np.uint8))
+
+    def test_unpack_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="uint8"):
+            unpack_rows(np.zeros((2, 2), dtype=np.int64), 16)
+
+    def test_unpack_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            unpack_rows(np.zeros((2, 2), dtype=np.uint8), 100)
+
+    def test_packed_width(self):
+        assert packed_width(0) == 0
+        assert packed_width(1) == 1
+        assert packed_width(8) == 1
+        assert packed_width(9) == 2
+        with pytest.raises(ValueError, match="non-negative"):
+            packed_width(-1)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("n", [5, 8, 63, 200])
+    def test_matches_mask_sum(self, n):
+        masks = random_masks(7, n, seed=n)
+        counts = popcount(pack_rows(masks))
+        np.testing.assert_array_equal(counts, masks.sum(axis=1))
+
+    def test_scalar_for_single_row(self):
+        mask = random_masks(1, 50, seed=1)[0]
+        count = popcount(pack_rows(mask))
+        assert isinstance(count, int)
+        assert count == int(mask.sum())
+
+
+class TestIntersect:
+    def test_matches_logical_and(self):
+        a = random_masks(4, 77, seed=1)
+        b = random_masks(4, 77, seed=2)
+        packed = intersect(pack_rows(a), pack_rows(b))
+        np.testing.assert_array_equal(unpack_rows(packed, 77), a & b)
+
+    def test_broadcasts_row_against_matrix(self):
+        matrix = random_masks(6, 40, seed=3)
+        row = random_masks(1, 40, seed=4)[0]
+        packed = intersect(pack_rows(matrix), pack_rows(row)[None, :])
+        np.testing.assert_array_equal(unpack_rows(packed, 40), matrix & row)
+
+
+class TestCoversAll:
+    def test_detects_supersets(self):
+        base = random_masks(1, 90, seed=5)[0]
+        superset = base | random_masks(1, 90, seed=6)[0]
+        disjointish = random_masks(1, 90, seed=7)[0]
+        tids = pack_rows(np.stack([base, superset, disjointish]))
+        out = covers_all(tids, pack_rows(base))
+        assert out[0] and out[1]
+        assert bool(out[2]) == bool((disjointish | ~base).all())
+
+    def test_empty_extent_covered_by_everything(self):
+        tids = pack_rows(random_masks(3, 30, seed=8))
+        empty = pack_rows(np.zeros(30, dtype=bool))
+        assert covers_all(tids, empty).all()
+
+
+class TestExtentKey:
+    def test_equal_sets_equal_keys(self):
+        mask = random_masks(1, 55, seed=9)[0]
+        assert extent_key(pack_rows(mask)) == extent_key(pack_rows(mask.copy()))
+
+    def test_different_sets_different_keys(self):
+        mask = random_masks(1, 55, seed=10)[0]
+        other = mask.copy()
+        other[3] = not other[3]
+        assert extent_key(pack_rows(mask)) != extent_key(pack_rows(other))

@@ -114,10 +114,11 @@ class TestHessianMatchesFiniteDifferences:
 class TestInputGrads:
     """The analytic ∇_x(vᵀ∇_θℓ) hook that fast-paths the §5 update search."""
 
-    def test_lr_matches_fd(self, xy, models):
+    @pytest.mark.parametrize("idx", [0, 1, 2], ids=["lr", "svm", "nn"])
+    def test_matches_fd(self, xy, models, idx):
         X, y = xy
-        model = models[0]
-        rng = np.random.default_rng(7)
+        model = models[idx]
+        rng = np.random.default_rng(7 + idx)
         v = rng.normal(size=model.num_params)
         analytic = model.input_grads(X[:6], y[:6], v)
         assert analytic.shape == (6, X.shape[1])
@@ -129,16 +130,42 @@ class TestInputGrads:
             numeric = fd_grad(scalar, X[i].copy())
             np.testing.assert_allclose(analytic[i], numeric, atol=1e-5, rtol=1e-4)
 
-    def test_lr_vector_shape_checked(self, xy, models):
+    def test_svm_matches_fd_away_from_kink(self, xy):
+        """Margins at the kink have measure zero; checked off-kink so the
+        subgradient convention cannot blur the comparison."""
+        X, y = xy
+        model = LinearSVM(l2_reg=1e-2).fit(X, y)
+        theta = model.theta * 1.07 + 1e-3
+        margins = (2.0 * y - 1.0) * (np.hstack([X, np.ones((len(X), 1))]) @ theta)
+        assert np.abs(margins - 1.0).min() > 1e-3
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=model.num_params)
+        analytic = model.input_grads(X[:8], y[:8], v, theta)
+        for i in range(8):
+            def scalar(x_row, i=i):
+                grads = model.per_sample_grads(x_row[None, :], y[i : i + 1], theta)
+                return float(v @ grads[0])
+
+            numeric = fd_grad(scalar, X[i].copy())
+            np.testing.assert_allclose(analytic[i], numeric, atol=1e-5, rtol=1e-4)
+
+    @pytest.mark.parametrize("idx", [0, 1, 2], ids=["lr", "svm", "nn"])
+    def test_vector_shape_checked(self, xy, models, idx):
         X, y = xy
         with pytest.raises(ValueError, match="vector shape"):
-            models[0].input_grads(X, y, np.zeros(2))
+            models[idx].input_grads(X, y, np.zeros(2))
 
-    @pytest.mark.parametrize("idx", [1, 2], ids=["svm", "nn"])
-    def test_default_signals_fallback(self, xy, models, idx):
+    def test_default_signals_fallback(self, xy):
+        """Models without a closed form keep the NotImplementedError default
+        that routes the update search to finite differences."""
+        from repro.models.base import TwiceDifferentiableClassifier
+
         X, y = xy
+        model = LogisticRegression(l2_reg=1e-2).fit(X, y)
         with pytest.raises(NotImplementedError):
-            models[idx].input_grads(X, y, np.zeros(models[idx].num_params))
+            TwiceDifferentiableClassifier.input_grads(
+                model, X, y, np.zeros(model.num_params)
+            )
 
 
 class TestGradProba:

@@ -24,6 +24,13 @@ class TestParser:
         args = build_parser().parse_args(["report", "--metric", "equal_opportunity"])
         assert args.metric == "equal_opportunity"
 
+    def test_engine_choices(self):
+        assert build_parser().parse_args(["explain"]).engine == "lattice"
+        args = build_parser().parse_args(["explain", "--engine", "mining"])
+        assert args.engine == "mining"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--engine", "apriori"])
+
 
 class TestCommands:
     def test_report_runs(self, capsys):
@@ -39,6 +46,18 @@ class TestCommands:
                 "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
                 "--estimator", "first_order", "--max-predicates", "2",
                 "-k", "2", "--no-verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-" in out
+
+    def test_explain_with_mining_engine_runs(self, capsys):
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+                "--estimator", "first_order", "--engine", "mining",
+                "--max-predicates", "2", "-k", "2", "--no-verify",
             ]
         )
         assert code == 0
