@@ -53,7 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(explain)
     explain.add_argument("-k", type=int, default=3, help="number of explanations")
     explain.add_argument("--estimator", default="second_order",
-                         choices=["first_order", "second_order", "one_step_gd", "retrain"])
+                         choices=["first_order", "second_order", "exact", "series",
+                                  "one_step_gd", "retrain"],
+                         help="influence estimator; 'exact'/'series' pick the "
+                         "second-order variant directly (both are batched)")
     explain.add_argument("--engine", default="lattice", choices=["lattice", "mining"],
                          help="candidate-generation backend: the level-wise lattice "
                          "search or the packed-bitset closed-pattern miner")

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.fairness.metrics import list_metrics
 
-_ESTIMATORS = ("first_order", "second_order", "one_step_gd", "retrain")
+_ESTIMATORS = ("first_order", "second_order", "exact", "series", "one_step_gd", "retrain")
 _ENGINES = ("lattice", "mining")
 
 
@@ -20,7 +20,11 @@ class GopherConfig:
         Fairness metric name (see :func:`repro.fairness.list_metrics`).
     estimator:
         Influence estimator driving the lattice search.  ``"second_order"``
-        is the paper's recommendation for coherent subsets; switch to
+        is the paper's recommendation for coherent subsets; ``"exact"`` and
+        ``"series"`` name its two variants directly (the exact Newton step
+        on the reduced objective vs the Eq. 10 Neumann truncation) — both
+        run the search through batched influence queries, the exact variant
+        via Woodbury downdates of the cached factorization.  Switch to
         ``"first_order"`` for the fastest search on large candidate spaces.
     estimator_kwargs:
         Extra keyword arguments for the estimator constructor.

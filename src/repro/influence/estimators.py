@@ -27,7 +27,15 @@ start-up the two query paths differ:
   factorization, and all three evaluation modes score the m perturbed θ's
   in one vectorized pass.  Per-batch cost is therefore one BLAS level-3
   call amortized over m subsets — the amortized batch influence queries the
-  lattice search (``repro.patterns.lattice``) is built on.
+  lattice search (``repro.patterns.lattice``) is built on.  The exact
+  second-order variant is the one closed form whose per-subset matrix
+  differs across the batch (``n·H − m·H_S``); its batch path solves each
+  subset as a rank-|S| Woodbury downdate of the cached eigendecomposition
+  — one shifted multi-RHS solve plus an |S|×|S| capacitance system per
+  subset, block-batched — instead of a fresh O(p³) refactorization,
+  falling back to the per-subset dense path only when |S| ≥ p or the
+  downdate is detected ill-conditioned (see
+  ``repro.influence.second_order``).
 
 Batches are given either as an (m, n) boolean mask matrix (rows = subsets)
 or as a sequence of per-subset index arrays; results are aligned with the
@@ -355,13 +363,25 @@ def make_estimator(
 
     ``name`` is one of ``"first_order"``, ``"second_order"``,
     ``"one_step_gd"``, ``"retrain"``; extra keyword arguments are forwarded
-    to the estimator constructor.
+    to the estimator constructor.  ``"exact"`` and ``"series"`` are
+    accepted as aliases for the two second-order variants — both are batch
+    fast paths now, so naming the variant directly is a first-class way to
+    pick the search estimator (a conflicting explicit ``variant`` kwarg is
+    rejected).
     """
     from repro.influence.first_order import FirstOrderInfluence
     from repro.influence.one_step_gd import OneStepGradientDescent
     from repro.influence.retrain import RetrainInfluence
     from repro.influence.second_order import SecondOrderInfluence
 
+    if name in ("exact", "series"):
+        if kwargs.get("variant", name) != name:
+            raise ValueError(
+                f"estimator {name!r} already fixes variant={name!r}; "
+                f"got conflicting variant={kwargs['variant']!r}"
+            )
+        kwargs = {**kwargs, "variant": name}
+        name = "second_order"
     registry = {
         "first_order": FirstOrderInfluence,
         "second_order": SecondOrderInfluence,
@@ -371,5 +391,6 @@ def make_estimator(
     try:
         cls = registry[name]
     except KeyError:
-        raise ValueError(f"unknown estimator {name!r}; available: {sorted(registry)}") from None
+        available = sorted([*registry, "exact", "series"])
+        raise ValueError(f"unknown estimator {name!r}; available: {available}") from None
     return cls(model, X_train, y_train, metric, test_ctx, **kwargs)  # type: ignore[arg-type]

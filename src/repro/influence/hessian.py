@@ -36,6 +36,61 @@ class HessianSolver:
         self.hessian = hessian
         self.damping_used = 0.0
         self._factor = self._factorize(hessian, damping)
+        self._eig: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def factor(self):
+        """The ``scipy.linalg.cho_factor`` pair of the damped matrix.
+
+        Exposed so callers can run their own ``cho_solve`` variants (e.g.
+        triangular solves inside rank-k downdates) against the one cached
+        factorization instead of refactorizing.
+        """
+        return self._factor
+
+    def eigendecomposition(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigendecomposition ``(eigvals, eigvecs)`` of the damped matrix.
+
+        Computed lazily and cached.  A Cholesky factor cannot absorb a
+        per-system scalar shift, but in the eigenbasis ``(M + s·I)⁻¹`` is a
+        diagonal rescale, so one O(p³) decomposition serves solves against
+        *every* shift.  The Woodbury-batched exact second-order influence
+        path consumes this decomposition directly (it fuses the rescale
+        into its whitened capacitance algebra); :meth:`shifted_solve_many`
+        is the standalone-solve form of the same primitive for other
+        callers.
+        """
+        if self._eig is None:
+            matrix = self.hessian
+            if self.damping_used:
+                matrix = matrix + self.damping_used * np.eye(self.dim)
+            self._eig = linalg.eigh(matrix, check_finite=False)
+        return self._eig
+
+    def shifted_solve_many(self, B: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+        """Solve ``(M + shift_k·I) x_k = b_k`` for every row ``b_k`` of B.
+
+        ``M`` is the damped matrix this solver factorized; ``shifts`` is a
+        scalar per row (broadcast from a scalar applies one shift to all).
+        Returns the solutions as rows, aligned with ``B``.  Raises
+        ``LinAlgError`` when any shifted matrix is not positive definite —
+        callers batching over subsets should pre-screen shifts against
+        ``eigendecomposition()[0]`` and route offenders to a fallback.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[1] != self.dim:
+            raise ValueError(f"B must have shape (k, {self.dim}), got {B.shape}")
+        shifts = np.broadcast_to(np.asarray(shifts, dtype=np.float64), (B.shape[0],))
+        if B.shape[0] == 0:
+            return np.zeros_like(B)
+        eigvals, eigvecs = self.eigendecomposition()
+        denom = eigvals[None, :] + shifts[:, None]  # (k, p)
+        if denom.min() <= 0.0:
+            raise np.linalg.LinAlgError(
+                "shifted matrix is not positive definite (eigenvalue "
+                f"{denom.min():.3e} after shift)"
+            )
+        return ((B @ eigvecs) / denom) @ eigvecs.T
 
     def _factorize(self, hessian: np.ndarray, damping: float):
         ridge = damping

@@ -21,7 +21,8 @@ ATOL = 1e-10
 
 # (estimator name, constructor kwargs) — every closed-form family, with both
 # second-order variants: "series" takes the fully-batched GEMM path, "exact"
-# exercises the documented per-subset fallback behind the same API.
+# the Woodbury/capacitance downdate path (its dedicated suite is
+# test_exact_batch_equivalence.py; here it rides the shared contract).
 ESTIMATOR_CONFIGS = [
     pytest.param(("first_order", {}), id="first_order"),
     pytest.param(("second_order", {"variant": "exact"}), id="second_order-exact"),

@@ -55,6 +55,76 @@ class TestHessianSolver:
         with pytest.raises(ValueError, match="symmetric"):
             HessianSolver(M)
 
+    def test_factor_exposed_for_external_solves(self, spd_matrix):
+        from scipy import linalg
+
+        solver = HessianSolver(spd_matrix)
+        b = np.arange(8.0)
+        np.testing.assert_allclose(
+            linalg.cho_solve(solver.factor, b), solver.solve(b), atol=1e-12
+        )
+
+
+class TestEigendecomposition:
+    def test_reconstructs_damped_matrix(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        eigvals, eigvecs = solver.eigendecomposition()
+        np.testing.assert_allclose(
+            (eigvecs * eigvals) @ eigvecs.T, spd_matrix, atol=1e-8
+        )
+
+    def test_cached(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        assert solver.eigendecomposition()[1] is solver.eigendecomposition()[1]
+
+    def test_covers_escalated_damping(self):
+        solver = HessianSolver(np.zeros((4, 4)))
+        eigvals, _ = solver.eigendecomposition()
+        # The decomposition is of the *damped* matrix, consistent with solve().
+        np.testing.assert_allclose(eigvals, solver.damping_used, atol=1e-15)
+
+
+class TestShiftedSolveMany:
+    def test_zero_shift_matches_solve(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        B = np.random.default_rng(3).normal(size=(5, 8))
+        np.testing.assert_allclose(
+            solver.shifted_solve_many(B, np.zeros(5)), solver.solve_many(B), atol=1e-10
+        )
+
+    def test_per_row_shifts(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        B = np.random.default_rng(4).normal(size=(3, 8))
+        shifts = np.array([0.1, 1.0, 7.5])
+        out = solver.shifted_solve_many(B, shifts)
+        for row, shift, x in zip(B, shifts, out):
+            expected = np.linalg.solve(spd_matrix + shift * np.eye(8), row)
+            np.testing.assert_allclose(x, expected, atol=1e-10)
+
+    def test_scalar_shift_broadcasts(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        B = np.random.default_rng(5).normal(size=(4, 8))
+        np.testing.assert_allclose(
+            solver.shifted_solve_many(B, 0.5),
+            solver.shifted_solve_many(B, np.full(4, 0.5)),
+            atol=1e-14,
+        )
+
+    def test_empty_batch(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        assert solver.shifted_solve_many(np.zeros((0, 8)), np.zeros(0)).shape == (0, 8)
+
+    def test_nonpositive_shifted_spectrum_raises(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        eigvals, _ = solver.eigendecomposition()
+        with pytest.raises(np.linalg.LinAlgError, match="not positive definite"):
+            solver.shifted_solve_many(np.ones((1, 8)), -(eigvals[0] + 1e-9))
+
+    def test_rejects_wrong_width(self, spd_matrix):
+        solver = HessianSolver(spd_matrix)
+        with pytest.raises(ValueError, match="shape"):
+            solver.shifted_solve_many(np.ones((2, 7)), np.zeros(2))
+
 
 class TestConjugateGradient:
     def test_matches_direct_solve(self, spd_matrix):

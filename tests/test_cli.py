@@ -31,6 +31,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explain", "--engine", "apriori"])
 
+    def test_estimator_variant_choices(self):
+        args = build_parser().parse_args(["explain", "--estimator", "exact"])
+        assert args.estimator == "exact"
+        args = build_parser().parse_args(["explain", "--estimator", "series"])
+        assert args.estimator == "series"
+
 
 class TestCommands:
     def test_report_runs(self, capsys):
@@ -57,6 +63,20 @@ class TestCommands:
             [
                 "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
                 "--estimator", "first_order", "--engine", "mining",
+                "--max-predicates", "2", "-k", "2", "--no-verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-" in out
+
+    def test_explain_exact_with_mining_engine_runs(self, capsys):
+        """--estimator exact rides the Woodbury batch through the miner's
+        packed frontiers end to end."""
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+                "--estimator", "exact", "--engine", "mining",
                 "--max-predicates", "2", "-k", "2", "--no-verify",
             ]
         )
