@@ -6,14 +6,20 @@ statistical parity, and — unlike LIME/SHAP-style feature explanations —
 uses Gopher to trace the bias back to *training data subsets*: the married-
 male household-income artifact of the Adult dataset.
 
+A real audit never stops at one question, so this example runs an
+:class:`~repro.core.AuditSession`: the model is trained and the heavy
+influence/alphabet caches are built exactly once, then several fairness
+metrics — across *two* protected attributes — are answered as cheap
+queries against the shared state.  The single-question deep dive at the
+end is a thin ``session.explainer(...)`` view over the same session.
+
 Run with:  python examples/income_fairness_audit.py
 """
 
 import numpy as np
 
-from repro.core import GopherExplainer
-from repro.datasets import load_adult, train_test_split
-from repro.fairness import fairness_report
+from repro.core import AuditSession
+from repro.datasets import ProtectedGroup, load_adult, train_test_split
 from repro.models import LogisticRegression
 
 
@@ -21,19 +27,20 @@ def main() -> None:
     data = load_adult(3000, seed=0)
     train, test = train_test_split(data, test_fraction=0.25, seed=1)
 
-    gopher = GopherExplainer(
+    # One start-up: encode, train, build the shared artifact caches.
+    session = AuditSession(
         LogisticRegression(l2_reg=1e-3),
         metric="statistical_parity",
         estimator="second_order",
         max_predicates=3,
     )
-    gopher.fit(train, test)
+    session.fit(train, test)
 
     # --- the developer's first surprise: an unexpected negative prediction
-    X_test = gopher.encoder.transform(test.table)
+    X_test = session.X_test
     female = ~test.privileged_mask()
     qualified = (np.asarray(test.table.column("education_num").values) >= 13) & female
-    predictions = gopher.model.predict(X_test)
+    predictions = session.model.predict(X_test)
     idx = np.flatnonzero(qualified & (predictions == 0))
     if idx.size:
         person = test.table.row(int(idx[0]))
@@ -42,14 +49,30 @@ def main() -> None:
             print(f"  {key:<10} {person[key]}")
         print()
 
-    # --- the model-level diagnosis
+    # --- the model-level diagnosis (rides the session's shared context)
     print("Fairness report (positive = males favored):")
-    print(fairness_report(gopher.model, gopher.test_ctx))
+    print(session.report())
     print()
 
     # --- the data-level diagnosis: which training subsets cause this?
-    result = gopher.explain(k=3, verify=True)
+    # Three metrics × two protected attributes, one Hessian factorization.
+    result = session.audit(
+        metrics=["statistical_parity", "equal_opportunity", "average_odds"],
+        groups=[
+            train.protected,  # gender = Male privileged (declared)
+            ProtectedGroup(attribute="age", privileged_threshold=40.0),
+        ],
+        k=3,
+    )
     print(result.render())
+    print()
+
+    # --- deep dive on one cell, with ground-truth verification retrains:
+    # a thin explainer view bound to (statistical_parity, gender).
+    gopher = session.explainer(metric="statistical_parity")
+    verified = gopher.explain(k=3, verify=True)
+    print("Verified (retrained) statistical-parity explanations:")
+    print(verified.render())
     print()
     print(
         "The marital/relationship patterns reflect Adult's household-income\n"

@@ -4,7 +4,10 @@ Three subcommands cover the common workflows without writing Python:
 
 * ``explain`` — run the full Gopher pipeline on a built-in (or CSV) dataset
   and print the fairness report, the top-k explanations, and optionally the
-  update-based repairs.
+  update-based repairs.  With ``--audit``, one artifact-cached
+  :class:`~repro.core.AuditSession` answers *every* registered fairness
+  metric for the dataset's protected attribute — the model is trained and
+  the influence/alphabet caches are built exactly once across all queries.
 * ``report`` — just fit a model and print accuracy + every fairness metric.
 * ``detect`` — the §6.7 poisoning-detection pipeline on a built-in dataset.
 
@@ -14,6 +17,7 @@ Examples
 
     python -m repro explain --dataset german --model logistic_regression -k 3
     python -m repro explain --dataset adult --metric equal_opportunity --updates
+    python -m repro explain --dataset german --audit -k 3 --no-verify
     python -m repro report --dataset sqf
     python -m repro detect --dataset german --poison-fraction 0.1
 """
@@ -27,7 +31,7 @@ import numpy as np
 
 from repro.bench.workloads import DATASETS, MODELS, build_pipeline
 from repro.cluster import local_outlier_factor
-from repro.core import GopherExplainer
+from repro.core import AuditSession, GopherExplainer
 from repro.datasets import TabularEncoder, train_test_split
 from repro.fairness import FairnessContext, fairness_report, get_metric, list_metrics
 from repro.influence import make_estimator
@@ -66,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip ground-truth retraining of the winners")
     explain.add_argument("--updates", action="store_true",
                          help="also compute update-based explanations (Section 5)")
+    explain.add_argument("--audit", action="store_true",
+                         help="run every registered fairness metric through one "
+                         "artifact-cached AuditSession (one start-up, many queries) "
+                         "instead of a single-metric explainer")
 
     report = sub.add_parser("report", help="accuracy + all fairness metrics")
     add_common(report)
@@ -82,6 +90,32 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     bundle = build_pipeline(
         args.dataset, args.model, metric=args.metric, n_rows=args.rows, seed=args.seed
     )
+    if args.audit:
+        if args.updates:
+            print(
+                "error: --updates computes Section-5 repairs for one metric's "
+                "explanations and cannot be combined with --audit; run "
+                "'explain --updates' with the metric you want to repair",
+                file=sys.stderr,
+            )
+            return 2
+        session = AuditSession(
+            bundle.model,
+            metric=args.metric,
+            estimator=args.estimator,
+            engine=args.engine,
+            support_threshold=args.support,
+            max_predicates=args.max_predicates,
+        )
+        session.fit(bundle.train, bundle.test)
+        print(session.report())
+        print()
+        result = session.audit(k=args.k, verify=not args.no_verify)
+        print(result.render())
+        counters = ", ".join(f"{name}={value}" for name, value in session.stats.items())
+        print()
+        print(f"(session cache counters: {counters})")
+        return 0
     gopher = GopherExplainer(
         bundle.model,
         metric=args.metric,

@@ -4,10 +4,25 @@
 dataset, fit (or accept) a twice-differentiable model, measure its bias,
 search the pattern lattice for the training subsets most causally
 responsible, and optionally verify the winners by actual retraining.
+
+:class:`AuditSession` is the many-questions form of the same pipeline: it
+owns the per-model start-up state (encoder, trained model, influence
+artifacts, candidate alphabet) once and answers any number of
+(metric, protected group, estimator) queries against it — each explainer
+becoming a thin view over the session.
 """
 
 from repro.core.config import GopherConfig
 from repro.core.explainer import GopherExplainer
 from repro.core.explanation import Explanation, ExplanationSet
+from repro.core.session import AuditQuery, AuditResult, AuditSession
 
-__all__ = ["Explanation", "ExplanationSet", "GopherConfig", "GopherExplainer"]
+__all__ = [
+    "AuditQuery",
+    "AuditResult",
+    "AuditSession",
+    "Explanation",
+    "ExplanationSet",
+    "GopherConfig",
+    "GopherExplainer",
+]

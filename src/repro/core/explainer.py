@@ -8,12 +8,12 @@ import numpy as np
 
 from repro.core.config import GopherConfig
 from repro.core.explanation import Explanation, ExplanationSet
-from repro.datasets.base import Dataset
+from repro.core.session import AuditSession
+from repro.datasets.base import Dataset, ProtectedGroup
 from repro.datasets.encoding import TabularEncoder
-from repro.datasets.splits import train_test_split
 from repro.fairness.metrics import FairnessContext, get_metric
 from repro.fairness.report import FairnessReport, fairness_report
-from repro.influence.estimators import InfluenceEstimator, make_estimator
+from repro.influence.estimators import InfluenceEstimator
 from repro.influence.retrain import RetrainInfluence
 from repro.mining.engine import make_engine
 from repro.models.base import TwiceDifferentiableClassifier
@@ -33,9 +33,22 @@ class GopherExplainer:
         print(result.render())
 
     ``fit`` encodes the data, trains the model (unless it is already
-    fitted), measures the original bias on the test split and pre-computes
-    the influence machinery; ``explain`` runs the lattice search and the
-    diversity filter, optionally verifying each winner by retraining.
+    fitted — a pre-fitted model whose feature dimension does not match the
+    encoding is rejected), measures the original bias on the test split
+    and pre-computes the influence machinery; ``explain`` runs the
+    candidate search and the diversity filter, optionally verifying each
+    winner by retraining.
+
+    An explainer is a *view over an audit session*: one (metric, protected
+    group, estimator) question bound to the shared per-model caches of an
+    :class:`~repro.core.AuditSession`.  ``fit`` builds a private session,
+    so single-question use looks exactly as before; for many questions of
+    one model, build the session once and mint views from it::
+
+        session = AuditSession(model).fit(train, test)
+        sp = session.explainer(metric="statistical_parity")
+        eo = session.explainer(metric="equal_opportunity")
+        # both share one Hessian factorization, one predicate alphabet ...
     """
 
     def __init__(
@@ -49,12 +62,14 @@ class GopherExplainer:
         self.model = model
         self.config = config if config is not None else GopherConfig(**overrides)  # type: ignore[arg-type]
         self.metric = get_metric(self.config.metric)
+        self.session: AuditSession | None = None
         self.encoder: TabularEncoder | None = None
         self.train_data: Dataset | None = None
         self.test_data: Dataset | None = None
         self.X_train: np.ndarray | None = None
         self.test_ctx: FairnessContext | None = None
         self.estimator: InfluenceEstimator | None = None
+        self.protected_group: ProtectedGroup | None = None
         self._update_ctx = None
 
     # ------------------------------------------------------------------
@@ -62,33 +77,36 @@ class GopherExplainer:
         """Prepare the pipeline on a train/test pair.
 
         When ``test`` is omitted, ``train`` is split using the config's
-        ``test_fraction`` and ``seed``.
+        ``test_fraction`` and ``seed``.  Internally this builds a private
+        :class:`AuditSession` and binds this explainer to it, so repeated
+        ``explain`` calls (and ``explain_updates`` et al.) reuse the
+        session's caches.
         """
-        if test is None:
-            train, test = train_test_split(train, self.config.test_fraction, self.config.seed)
-        self.train_data, self.test_data = train, test
-        self.encoder = TabularEncoder().fit(train.table)
-        self.X_train = self.encoder.transform(train.table)
-        X_test = self.encoder.transform(test.table)
-        if self.model.theta is None:
-            self.model.fit(self.X_train, train.labels)
-        self.test_ctx = FairnessContext(
-            X=X_test,
-            y=test.labels,
-            privileged=test.privileged_mask(),
-            favorable_label=train.favorable_label,
-        )
-        self.estimator = make_estimator(
-            self.config.estimator,
-            self.model,
-            self.X_train,
-            train.labels,
-            self.metric,
-            self.test_ctx,
+        session = AuditSession(self.model, self.config).fit(train, test)
+        self._bind_session(session, None)
+        return self
+
+    def _bind_session(self, session: AuditSession, group: ProtectedGroup | None) -> None:
+        """Borrow a session's shared state and build this view's per-query
+        half (context, estimator) for one protected group."""
+        assert session.train_data is not None
+        self.session = session
+        self.train_data = session.train_data
+        self.test_data = session.test_data
+        self.encoder = session.encoder
+        self.X_train = session.X_train
+        self.protected_group = group if group is not None else session.train_data.protected
+        self.test_ctx = session.context_for(group)
+        # The view's config is authoritative for its estimator: name and
+        # kwargs were both derived (or given) on this config, so pass them
+        # through explicitly rather than letting the session re-derive.
+        self.estimator = session.estimator_for(
+            metric=self.config.metric,
+            group=group,
+            estimator=self.config.estimator,
             **self.config.estimator_kwargs,
         )
         self._update_ctx = None
-        return self
 
     def _require_fitted(self) -> None:
         if self.estimator is None:
@@ -121,6 +139,7 @@ class GopherExplainer:
         """
         self._require_fitted()
         assert self.train_data is not None and self.estimator is not None
+        assert self.session is not None and self.protected_group is not None
         cfg = self.config
 
         start = time.perf_counter()
@@ -135,10 +154,11 @@ class GopherExplainer:
             prune_by_responsibility=cfg.prune_by_responsibility,
             max_responsibility=cfg.max_responsibility,
             batch_size=cfg.search_batch_size,
+            alphabet_cache=self.session.alphabet_cache,
         )
         search_seconds = time.perf_counter() - start
         protected_only = (
-            {self.train_data.protected.attribute} if cfg.exclude_protected_only else None
+            {self.protected_group.attribute} if cfg.exclude_protected_only else None
         )
         selected, filter_seconds = select_top_k(
             lattice,

@@ -1,0 +1,398 @@
+"""One start-up, many queries: the artifact-cached audit session.
+
+A real fairness audit asks many questions of *one* trained model — every
+registered metric, every protected attribute worth checking, several
+estimator variants and k/τ settings.  Each question is one Gopher query,
+but almost all of the pipeline's start-up cost is question-independent:
+
+* **per-model** (once per session) — encoding the tables, fitting the
+  model, the per-sample gradient matrix, the Hessian with its
+  factorization/eigendecomposition and rotated curvature caches
+  (:class:`repro.influence.ModelArtifacts`), and the level-1 predicate
+  alphabet with its packed tidlists
+  (:class:`repro.mining.AlphabetCache`);
+* **per-query** (once per metric × group × estimator) — ∇_θF, the original
+  bias, the :class:`~repro.fairness.FairnessContext` of the protected
+  attribute, and the candidate search itself.
+
+:class:`AuditSession` owns the per-model half and hands out cheap views:
+``session.explainer(metric=..., group=...)`` is a fully-functional
+:class:`~repro.core.GopherExplainer` bound to one question, and
+``session.audit(metrics=..., groups=...)`` fans a whole grid of questions
+through the shared caches and returns a structured :class:`AuditResult`.
+``session.stats`` exposes the cache counters, so "this audit factorized
+the Hessian exactly once" is an assertable property, not a hope — see
+``benchmarks/bench_audit_session.py`` for the measured amortization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import GopherConfig
+from repro.core.explanation import ExplanationSet
+from repro.datasets.base import Dataset, ProtectedGroup
+from repro.datasets.encoding import TabularEncoder
+from repro.datasets.splits import train_test_split
+from repro.fairness.metrics import FairnessContext, get_metric, list_metrics
+from repro.fairness.report import FairnessReport, fairness_report
+from repro.influence.artifacts import ModelArtifacts
+from repro.influence.estimators import InfluenceEstimator, make_estimator
+from repro.mining.alphabet import AlphabetCache
+from repro.models.base import TwiceDifferentiableClassifier
+
+# "exact" and "series" are first-class names for the two second-order
+# variants (see make_estimator); for kwarg-inheritance purposes they are
+# the same estimator family.
+_SECOND_ORDER_NAMES = frozenset({"second_order", "exact", "series"})
+
+
+def _same_estimator_family(a: str, b: str) -> bool:
+    return a == b or (a in _SECOND_ORDER_NAMES and b in _SECOND_ORDER_NAMES)
+
+
+@dataclass
+class AuditQuery:
+    """One (metric, protected group) cell of an audit and its answer."""
+
+    metric: str
+    group: ProtectedGroup
+    explanations: ExplanationSet
+    seconds: float
+
+    @property
+    def original_bias(self) -> float:
+        return self.explanations.original_bias
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric} | {self.group.describe()} | "
+            f"bias={self.original_bias:+.4f} | "
+            f"{len(self.explanations)} explanations in {self.seconds:.2f}s"
+        )
+
+
+@dataclass
+class AuditResult:
+    """The structured output of :meth:`AuditSession.audit`.
+
+    Queries are ordered group-major (all metrics of the first group, then
+    the next group), matching the order they were issued.  ``stats`` is a
+    snapshot of the session's cache counters *after* the audit — the
+    one-factorization / one-tidlist-build claims live here.
+    """
+
+    queries: list[AuditQuery]
+    setup_seconds: float
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> AuditQuery:
+        return self.queries[index]
+
+    def get(self, metric: str, attribute: str | None = None) -> AuditQuery:
+        """The query for a metric (and protected attribute, if ambiguous)."""
+        matches = [
+            q
+            for q in self.queries
+            if q.metric == metric
+            and (attribute is None or q.group.attribute == attribute)
+        ]
+        if not matches:
+            raise KeyError(f"no audit query for metric={metric!r}, attribute={attribute!r}")
+        if len(matches) > 1:
+            attributes = sorted({q.group.attribute for q in matches})
+            if attribute is None and len(attributes) > 1:
+                raise KeyError(
+                    f"metric {metric!r} was audited for several protected attributes "
+                    f"{attributes}; pass attribute= to disambiguate"
+                )
+            raise KeyError(
+                f"metric {metric!r} was audited for several groups over attribute "
+                f"{attributes[0]!r} (e.g. different thresholds); index "
+                "result.queries (or iterate the result) to pick one"
+            )
+        return matches[0]
+
+    def to_records(self) -> list[dict]:
+        """JSON-serializable records, one per explanation across all queries."""
+        records = []
+        for query in self.queries:
+            for record in query.explanations.to_records():
+                record["protected_attribute"] = query.group.attribute
+                record["protected_group"] = query.group.describe()
+                records.append(record)
+        return records
+
+    def render(self) -> str:
+        """All queries' explanation tables under one audit header."""
+        total = sum(q.seconds for q in self.queries)
+        lines = [
+            f"Audit: {len(self.queries)} queries "
+            f"(setup {self.setup_seconds:.2f}s once, queries {total:.2f}s total)"
+        ]
+        for query in self.queries:
+            lines.append("")
+            lines.append(f"=== {query.metric} | {query.group.describe()} ===")
+            lines.append(query.explanations.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class AuditSession:
+    """The per-model half of the Gopher pipeline, shared across queries.
+
+    Typical use::
+
+        session = AuditSession(LogisticRegression(), estimator="series")
+        session.fit(train, test)
+        print(session.report())                    # all metrics, default group
+        result = session.audit(
+            metrics=["statistical_parity", "equal_opportunity"],
+            groups=[train.protected, ProtectedGroup("gender", privileged_category="Male")],
+            k=3,
+        )
+        print(result.render())
+
+    ``fit`` encodes both splits once, trains the model if needed (and
+    rejects a pre-fitted model whose feature dimension does not match the
+    encoding), then builds the shared influence artifacts and the
+    per-dataset candidate alphabet cache.  Every query object the session
+    hands out — estimators via :meth:`estimator_for`, explainers via
+    :meth:`explainer`, whole grids via :meth:`audit` — reuses those
+    caches; the session-vs-fresh equivalence suite pins that the answers
+    are identical to building each query's pipeline from scratch.
+
+    The config carries the *defaults* a query inherits (engine, estimator,
+    search parameters, and the default metric); per-query arguments
+    override them without touching the shared state.
+    """
+
+    def __init__(
+        self,
+        model: TwiceDifferentiableClassifier,
+        config: GopherConfig | None = None,
+        **overrides: object,
+    ) -> None:
+        if config is not None and overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.model = model
+        self.config = config if config is not None else GopherConfig(**overrides)  # type: ignore[arg-type]
+        self.train_data: Dataset | None = None
+        self.test_data: Dataset | None = None
+        self.encoder: TabularEncoder | None = None
+        self.X_train: np.ndarray | None = None
+        self.X_test: np.ndarray | None = None
+        self.artifacts: ModelArtifacts | None = None
+        self.alphabet_cache: AlphabetCache | None = None
+        self.setup_seconds: float = 0.0
+        self._contexts: dict[ProtectedGroup, FairnessContext] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, train: Dataset, test: Dataset | None = None) -> "AuditSession":
+        """Run the per-model start-up once: encode, train, build caches.
+
+        When ``test`` is omitted, ``train`` is split using the config's
+        ``test_fraction`` and ``seed``.  A pre-fitted model is accepted
+        (and not refitted) only if its input dimension matches the fresh
+        encoding — a stale model from an earlier encoding would otherwise
+        poison every query of the session.
+        """
+        start = time.perf_counter()
+        if test is None:
+            train, test = train_test_split(train, self.config.test_fraction, self.config.seed)
+        self.train_data, self.test_data = train, test
+        self.encoder = TabularEncoder().fit(train.table)
+        self.X_train = self.encoder.transform(train.table)
+        self.X_test = self.encoder.transform(test.table)
+        if self.model.theta is None:
+            self.model.fit(self.X_train, train.labels)
+        else:
+            expected = self.model.num_features
+            if expected is not None and expected != self.X_train.shape[1]:
+                raise ValueError(
+                    f"pre-fitted model was trained on {expected} features but this "
+                    f"dataset encodes to {self.X_train.shape[1]}; the model belongs "
+                    "to a different encoding — refit it (or pass an unfitted model) "
+                    "before starting a session"
+                )
+        self.artifacts = ModelArtifacts(self.model, self.X_train, train.labels)
+        self.alphabet_cache = AlphabetCache(train.table)
+        self._contexts = {}
+        self.setup_seconds = time.perf_counter() - start
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.artifacts is None:
+            raise RuntimeError("session is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Merged cache counters: influence artifacts + candidate alphabet.
+
+        Keys: ``per_sample_grad_builds``, ``hessian_builds``,
+        ``hessian_factorizations``, ``exact_rotation_builds``,
+        ``alphabet_builds``, ``tidlist_builds``.  A well-amortized audit
+        shows 1 (or 0, for caches its estimator never touches) everywhere.
+        """
+        self._require_fitted()
+        assert self.artifacts is not None and self.alphabet_cache is not None
+        return {**self.artifacts.stats, **self.alphabet_cache.stats}
+
+    def context_for(self, group: ProtectedGroup | None = None) -> FairnessContext:
+        """The cached test-side context of a protected group.
+
+        All contexts share the session's one test encoding; only the
+        privileged mask differs per group.  ``None`` means the *test*
+        dataset's declared protected group — the declaration the
+        privileged mask has always been derived from, so a caller who set
+        the group on the test split alone keeps getting it.
+        """
+        self._require_fitted()
+        assert self.train_data is not None and self.test_data is not None
+        assert self.X_test is not None
+        resolved = group if group is not None else self.test_data.protected
+        if resolved not in self._contexts:
+            self._contexts[resolved] = self.test_data.fairness_context(
+                self.X_test, resolved
+            )
+        return self._contexts[resolved]
+
+    def estimator_for(
+        self,
+        metric: str | None = None,
+        group: ProtectedGroup | None = None,
+        estimator: str | None = None,
+        **estimator_kwargs: object,
+    ) -> InfluenceEstimator:
+        """A per-query estimator riding the session's shared artifacts.
+
+        ``metric`` / ``estimator`` default to the config's; extra keyword
+        arguments override the config's ``estimator_kwargs``.  Each call
+        builds a fresh estimator object (the per-query state: ∇F, original
+        bias, context) — the heavy caches inside are shared.
+        """
+        self._require_fitted()
+        assert self.train_data is not None and self.X_train is not None
+        name = estimator if estimator is not None else self.config.estimator
+        kwargs = {**self._estimator_kwargs_for(name), **estimator_kwargs}
+        return make_estimator(
+            name,
+            self.model,
+            self.X_train,
+            self.train_data.labels,
+            get_metric(metric if metric is not None else self.config.metric),
+            self.context_for(group),
+            artifacts=self.artifacts,
+            **kwargs,
+        )
+
+    def _estimator_kwargs_for(self, name: str) -> dict:
+        """The config kwargs a query with estimator ``name`` inherits.
+
+        The config's estimator_kwargs belong to the config's estimator
+        *family*: handing them to an overridden family would feed e.g.
+        second_order's ``variant=`` into ``FirstOrderInfluence`` and
+        crash, so cross-family overrides start from an empty dict.  The
+        ``exact``/``series`` aliases count as the second-order family —
+        dropping a shared ``damping`` there would silently change scores
+        *and* add a second Hessian factorization — but an alias fixes its
+        own ``variant``, so that one key is removed rather than conflict
+        with ``make_estimator``'s alias check.  One rule, used both for a
+        view's config (:meth:`explainer`) and for direct
+        :meth:`estimator_for` calls.
+        """
+        if not _same_estimator_family(name, self.config.estimator):
+            return {}
+        kwargs = dict(self.config.estimator_kwargs)
+        if name in ("exact", "series"):
+            kwargs.pop("variant", None)
+        return kwargs
+
+    def report(self, group: ProtectedGroup | None = None) -> FairnessReport:
+        """Accuracy + every registered fairness metric for one group."""
+        return fairness_report(self.model, self.context_for(group))
+
+    # ------------------------------------------------------------------
+    def explainer(
+        self,
+        metric: str | None = None,
+        group: ProtectedGroup | None = None,
+        estimator: str | None = None,
+    ):
+        """A :class:`GopherExplainer` view bound to one (metric, group).
+
+        The view is a complete explainer — ``explain``, ``explain_updates``,
+        ``responsibility_of`` all work — but its start-up state is borrowed
+        from this session, so constructing one costs a ∇F and an original
+        bias, not a Hessian factorization.
+        """
+        from repro.core.explainer import GopherExplainer
+
+        self._require_fitted()
+        # replace() is a shallow copy: the mutable config fields must be
+        # copied too, or tweaking one view's exclude_features would
+        # silently change the candidate space of every other query.  The
+        # view's estimator_kwargs are derived by the same rule the
+        # estimator build uses, so the config a view carries always
+        # describes the estimator it actually runs.
+        name = estimator if estimator is not None else self.config.estimator
+        config = replace(
+            self.config,
+            metric=metric if metric is not None else self.config.metric,
+            estimator=name,
+            estimator_kwargs=self._estimator_kwargs_for(name),
+            exclude_features=set(self.config.exclude_features),
+        )
+        view = GopherExplainer(self.model, config)
+        view._bind_session(self, group)
+        return view
+
+    def audit(
+        self,
+        metrics: list[str] | None = None,
+        groups: list[ProtectedGroup] | None = None,
+        k: int = 3,
+        verify: bool = False,
+        estimator: str | None = None,
+    ) -> AuditResult:
+        """Fan a grid of (metric × group) queries through the session.
+
+        ``metrics`` defaults to every registered metric; ``groups`` to the
+        dataset's declared protected group.  Each query runs the configured
+        candidate engine through the session's shared caches and the
+        batched estimators; ``verify=True`` additionally retrains for each
+        selected explanation (ground truth is per-query work — nothing to
+        amortize).  Returns an :class:`AuditResult` ordered group-major.
+        """
+        self._require_fitted()
+        metric_names = list(metrics) if metrics is not None else list_metrics()
+        group_list = list(groups) if groups is not None else [self.test_data.protected]  # type: ignore[union-attr]
+        queries: list[AuditQuery] = []
+        for group in group_list:
+            for metric in metric_names:
+                start = time.perf_counter()
+                view = self.explainer(metric=metric, group=group, estimator=estimator)
+                explanations = view.explain(k=k, verify=verify)
+                queries.append(
+                    AuditQuery(
+                        metric=metric,
+                        group=group,
+                        explanations=explanations,
+                        seconds=time.perf_counter() - start,
+                    )
+                )
+        return AuditResult(
+            queries=queries, setup_seconds=self.setup_seconds, stats=dict(self.stats)
+        )

@@ -162,3 +162,35 @@ class Dataset:
     def renamed(self, name: str) -> "Dataset":
         out = Dataset(name, self.table, self.labels, self.protected, self.favorable_label)
         return out
+
+    def with_protected(self, protected: ProtectedGroup) -> "Dataset":
+        """The same data audited along a different protected attribute.
+
+        Fairness audits routinely ask about several protected attributes
+        of one dataset (gender *and* age, say); this returns a view-like
+        dataset sharing the table and labels with only the group
+        declaration swapped.
+        """
+        return Dataset(self.name, self.table, self.labels, protected, self.favorable_label)
+
+    def fairness_context(
+        self, X: np.ndarray, protected: ProtectedGroup | None = None
+    ):
+        """A :class:`repro.fairness.FairnessContext` over this dataset.
+
+        ``X`` is the *encoded* feature matrix of this dataset's rows (the
+        encoding lives outside the dataset, so it is passed in); the
+        privileged mask is derived from ``protected`` — or the declared
+        protected group — against the raw table.  One shared test encoding
+        therefore serves a context per protected attribute, which is what
+        lets an audit session fan one encoding out across groups.
+        """
+        from repro.fairness.metrics import FairnessContext
+
+        group = protected if protected is not None else self.protected
+        return FairnessContext(
+            X=X,
+            y=self.labels,
+            privileged=group.privileged_mask(self.table),
+            favorable_label=self.favorable_label,
+        )

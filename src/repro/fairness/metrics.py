@@ -73,7 +73,11 @@ class FairnessContext:
             raise ValueError(f"favorable_label must be 0 or 1, got {self.favorable_label}")
         if priv.all() or not priv.any():
             raise ValueError("both privileged and protected groups must be non-empty")
-        object.__setattr__(self, "X", X.astype(np.float64))
+        # copy=False: contexts are frozen, read-only views — an audit
+        # session derives one context per protected group from a single
+        # shared test encoding, and copying the matrix per group would
+        # defeat exactly that sharing.
+        object.__setattr__(self, "X", X.astype(np.float64, copy=False))
         object.__setattr__(self, "y", y)
         object.__setattr__(self, "privileged", priv)
 

@@ -16,6 +16,7 @@ removing a subset, and the causal responsibility R = −ΔF / F(θ) of
 Definition 3.2.
 """
 
+from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator, make_estimator
 from repro.influence.first_order import FirstOrderInfluence
 from repro.influence.hessian import HessianSolver
@@ -28,6 +29,7 @@ __all__ = [
     "FirstOrderInfluence",
     "HessianSolver",
     "InfluenceEstimator",
+    "ModelArtifacts",
     "OneStepGradientDescent",
     "RetrainInfluence",
     "RetrainTask",

@@ -1,0 +1,190 @@
+"""Metric-independent start-up state shared across influence estimators.
+
+Every influence estimator's "start-up" cost (the fixed cost the paper's
+Figure 5 measures) splits cleanly in two:
+
+* **per-model** — the per-sample training gradient matrix, the training
+  Hessian, its Cholesky factorization and (for the Woodbury-batched exact
+  second-order variant) its eigendecomposition with the rotated gradient /
+  curvature caches, the rank-one Hessian factors, and the one-step "auto"
+  learning rate.  None of these depend on the fairness metric, the
+  protected group, or the estimator's evaluation mode — only on the fitted
+  model and the training matrix.
+* **per-query** — ∇_θF of the metric surrogate, the original bias, and the
+  (metric, group)-bound :class:`~repro.fairness.metrics.FairnessContext`.
+
+:class:`ModelArtifacts` owns the per-model half.  An interactive audit
+("every metric × every protected attribute × several estimator variants of
+one trained model" — the workload :class:`repro.core.AuditSession` fans
+out) builds one bundle and hands it to every estimator via
+``make_estimator(..., artifacts=...)``; each estimator then only pays its
+cheap per-query state.  Without an explicit bundle every estimator builds
+a private one, so the single-estimator construction path is unchanged.
+
+``stats`` counts the heavy builds (``per_sample_grad_builds``,
+``hessian_builds``, ``hessian_factorizations``, ``exact_rotation_builds``)
+so callers — the audit benchmark in particular — can *assert* that a
+multi-query workload paid for each exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.influence.hessian import HessianSolver
+from repro.models.base import TwiceDifferentiableClassifier
+
+
+class ModelArtifacts:
+    """Shared caches bound to one fitted model and one training matrix.
+
+    Parameters
+    ----------
+    model:
+        A *fitted* classifier.  The bundle snapshots ``model.theta`` at
+        construction and refuses to serve estimators if the parameters
+        change afterwards — silently mixing caches from two different
+        optima is the stale-reuse bug class sessions make likely.
+    X_train / y_train:
+        The encoded training data the model was fitted on.
+
+    All caches are lazy: a first-order estimator never triggers the
+    eigendecomposition, a retraining estimator never builds the Hessian.
+    """
+
+    def __init__(
+        self,
+        model: TwiceDifferentiableClassifier,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+    ) -> None:
+        if model.theta is None:
+            raise ValueError("model must be fitted before building influence artifacts")
+        self.model = model
+        self.X_train = np.asarray(X_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train)
+        self.theta = np.asarray(model.theta, dtype=np.float64).copy()
+        self.num_train = len(self.X_train)
+        self._per_sample_grads: np.ndarray | None = None
+        self._hessian: np.ndarray | None = None
+        self._solvers: dict[float, HessianSolver] = {}
+        self._factors: tuple[np.ndarray, np.ndarray, float] | None | str = "unset"
+        self._exact_rot: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+        self._auto_learning_rate: float | None = None
+        self.stats = {
+            "per_sample_grad_builds": 0,
+            "hessian_builds": 0,
+            "hessian_factorizations": 0,
+            "exact_rotation_builds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def check_compatible(
+        self,
+        model: TwiceDifferentiableClassifier,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+    ) -> None:
+        """Raise unless (model, data, θ) still match what was cached.
+
+        Estimators call this when handed a shared bundle.  The θ check is
+        the important one: refitting the model invalidates every cache
+        here, and the failure mode without the check is silently wrong
+        influence scores.
+        """
+        if model is not self.model:
+            raise ValueError(
+                "artifacts were built for a different model instance; build a new "
+                "ModelArtifacts (or a new AuditSession) per fitted model"
+            )
+        if self.model.theta is None or not np.array_equal(self.theta, self.model.theta):
+            raise ValueError(
+                "model parameters changed since the artifacts were built; the cached "
+                "gradients and factorizations belong to the old optimum — rebuild the "
+                "artifacts after refitting"
+            )
+        X = np.asarray(X_train)
+        if X is not self.X_train and (
+            X.shape != self.X_train.shape or not np.array_equal(X, self.X_train)
+        ):
+            raise ValueError(
+                f"artifacts were built on a training matrix of shape "
+                f"{self.X_train.shape}; got a different matrix of shape {X.shape}"
+            )
+        y = np.asarray(y_train)
+        if y is not self.y_train and not np.array_equal(y, self.y_train):
+            raise ValueError("artifacts were built on different training labels")
+
+    # ------------------------------------------------------------------
+    @property
+    def per_sample_grads(self) -> np.ndarray:
+        """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) — built once."""
+        if self._per_sample_grads is None:
+            self._per_sample_grads = self.model.per_sample_grads(self.X_train, self.y_train)
+            self.stats["per_sample_grad_builds"] += 1
+        return self._per_sample_grads
+
+    @property
+    def hessian(self) -> np.ndarray:
+        """The mean training Hessian H(θ*) — built once."""
+        if self._hessian is None:
+            self._hessian = self.model.hessian(self.X_train, self.y_train)
+            self.stats["hessian_builds"] += 1
+        return self._hessian
+
+    def solver(self, damping: float = 0.0) -> HessianSolver:
+        """The shared :class:`HessianSolver` for a damping value.
+
+        One factorization (and, lazily, one eigendecomposition) serves
+        every estimator requesting the same damping — estimators of
+        different metrics, groups, and second-order variants all hit the
+        same cached factor.
+        """
+        key = float(damping)
+        if key not in self._solvers:
+            self._solvers[key] = HessianSolver(self.hessian, damping=key)
+            self.stats["hessian_factorizations"] += 1
+        return self._solvers[key]
+
+    def hessian_factors(self) -> tuple[np.ndarray, np.ndarray, float] | None:
+        """The model's rank-one Hessian factors, or None if unavailable."""
+        if self._factors == "unset":
+            try:
+                self._factors = self.model.hessian_factors(self.X_train, self.y_train)
+            except NotImplementedError:
+                self._factors = None
+        return self._factors  # type: ignore[return-value]
+
+    def exact_rotation(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Eigenbasis-rotated (per-sample grads, √w-scaled curvature rows).
+
+        The Woodbury-batched exact second-order path works in the
+        eigenbasis of the damped Hessian; rotating the (n, p) gradient and
+        curvature matrices costs two n·p² GEMMs, paid once per damping and
+        reused by every exact estimator sharing the bundle (θ* is fixed,
+        so the rotation never changes).  Requires usable factors — callers
+        check :meth:`hessian_factors` first.
+        """
+        key = float(damping)
+        if key not in self._exact_rot:
+            factors = self.hessian_factors()
+            if factors is None:
+                raise ValueError("model exposes no rank-one Hessian factors to rotate")
+            phi, weights, _ = factors
+            eigvecs = self.solver(key).eigendecomposition()[1]
+            curved = weights > 0.0
+            sqrt_w = np.sqrt(weights, where=curved, out=np.zeros_like(weights))
+            self._exact_rot[key] = (
+                self.per_sample_grads @ eigvecs,
+                (phi * sqrt_w[:, None]) @ eigvecs,
+            )
+            self.stats["exact_rotation_builds"] += 1
+        return self._exact_rot[key]
+
+    def auto_learning_rate(self) -> float:
+        """η = 1/λ_max(H), the shared one-step surrogate step size."""
+        if self._auto_learning_rate is None:
+            from repro.influence.one_step_gd import auto_learning_rate
+
+            self._auto_learning_rate = auto_learning_rate(self.hessian)
+        return self._auto_learning_rate

@@ -14,7 +14,15 @@ Cost model
 ----------
 Construction performs the paper's "start-up" pre-computation once: the
 per-sample gradient matrix (n, p), the Hessian and its Cholesky
-factorization, and ∇_θF.  That is the fixed cost Figure 5 measures.  After
+factorization, and ∇_θF.  That is the fixed cost Figure 5 measures.  The
+metric-independent part of it — everything except ∇_θF and the original
+bias — lives in a :class:`repro.influence.artifacts.ModelArtifacts`
+bundle; by default each estimator builds a private bundle, and passing a
+shared one (``make_estimator(..., artifacts=...)``) lets estimators of
+*different* metrics, protected groups, and second-order variants reuse
+one gradient matrix, one Hessian factorization, and one set of rotated
+curvature caches — the per-model vs per-query split
+:class:`repro.core.AuditSession` amortizes across a whole audit.  After
 start-up the two query paths differ:
 
 * **per-subset** — each call pays one gather-and-sum over the subset rows
@@ -81,6 +89,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.artifacts import ModelArtifacts
 from repro.models.base import TwiceDifferentiableClassifier
 
 _EVALUATIONS = ("linear", "smooth", "hard")
@@ -101,23 +110,28 @@ class InfluenceEstimator(ABC):
         metric: FairnessMetric,
         test_ctx: FairnessContext,
         evaluation: str = "linear",
+        artifacts: ModelArtifacts | None = None,
     ) -> None:
         if model.theta is None:
             raise ValueError("model must be fitted before building an influence estimator")
         if evaluation not in _EVALUATIONS:
             raise ValueError(f"evaluation must be one of {_EVALUATIONS}, got {evaluation!r}")
+        if artifacts is None:
+            artifacts = ModelArtifacts(model, X_train, y_train)
+        else:
+            artifacts.check_compatible(model, X_train, y_train)
+        self.artifacts = artifacts
         self.model = model
-        self.X_train = np.asarray(X_train, dtype=np.float64)
-        self.y_train = np.asarray(y_train)
+        self.X_train = artifacts.X_train
+        self.y_train = artifacts.y_train
         self.metric = metric
         self.test_ctx = test_ctx
         self.evaluation = evaluation
-        self.theta = np.asarray(model.theta, dtype=np.float64)
-        self.num_train = len(self.X_train)
+        self.theta = artifacts.theta
+        self.num_train = artifacts.num_train
         self.original_bias = metric.value(model, test_ctx)
         self.original_surrogate = metric.surrogate(model, test_ctx)
         self._grad_f: np.ndarray | None = None
-        self._per_sample_grads: np.ndarray | None = None
 
     # -- cached heavy pieces -------------------------------------------
     @property
@@ -129,10 +143,12 @@ class InfluenceEstimator(ABC):
 
     @property
     def per_sample_grads(self) -> np.ndarray:
-        """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) (cached)."""
-        if self._per_sample_grads is None:
-            self._per_sample_grads = self.model.per_sample_grads(self.X_train, self.y_train)
-        return self._per_sample_grads
+        """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) (cached).
+
+        Served from the (possibly shared) :class:`ModelArtifacts` bundle,
+        so estimators riding one bundle build the matrix once between them.
+        """
+        return self.artifacts.per_sample_grads
 
     def subset_grad_sum(self, indices: np.ndarray) -> np.ndarray:
         """g_S = Σ_{i∈S} ∇ℓ(z_i, θ*)."""
@@ -368,6 +384,12 @@ def make_estimator(
     fast paths now, so naming the variant directly is a first-class way to
     pick the search estimator (a conflicting explicit ``variant`` kwarg is
     rejected).
+
+    Pass ``artifacts=ModelArtifacts(model, X_train, y_train)`` to share the
+    metric-independent start-up caches (per-sample gradients, Hessian
+    factorization, rotated curvature rows) across many estimators of the
+    same fitted model — the amortization a multi-metric, multi-group audit
+    lives on.  Omitted, each estimator builds a private bundle.
     """
     from repro.influence.first_order import FirstOrderInfluence
     from repro.influence.one_step_gd import OneStepGradientDescent

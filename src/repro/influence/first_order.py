@@ -20,8 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
-from repro.influence.hessian import HessianSolver
 from repro.models.base import TwiceDifferentiableClassifier
 
 
@@ -37,10 +37,10 @@ class FirstOrderInfluence(InfluenceEstimator):
         test_ctx: FairnessContext,
         damping: float = 0.0,
         evaluation: str = "linear",
+        artifacts: ModelArtifacts | None = None,
     ) -> None:
-        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
-        hessian = model.hessian(self.X_train, self.y_train)
-        self.solver = HessianSolver(hessian, damping=damping)
+        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation, artifacts)
+        self.solver = self.artifacts.solver(damping)
         # s = H⁻¹ ∇F lets linearized ΔF(S) collapse to a dot product with g_S.
         self._stest = self.solver.solve(self.grad_f)
         self._point_influences: np.ndarray | None = None

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
 from repro.models.base import TwiceDifferentiableClassifier
 
@@ -53,11 +54,11 @@ class OneStepGradientDescent(InfluenceEstimator):
         test_ctx: FairnessContext,
         learning_rate: float | str = "auto",
         evaluation: str = "hard",
+        artifacts: ModelArtifacts | None = None,
     ) -> None:
-        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
+        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation, artifacts)
         if learning_rate == "auto":
-            hessian = model.hessian(self.X_train, self.y_train)
-            self.learning_rate = auto_learning_rate(hessian)
+            self.learning_rate = self.artifacts.auto_learning_rate()
         else:
             rate = float(learning_rate)  # type: ignore[arg-type]
             if rate <= 0:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
 from repro.influence.parallel import RetrainTask, retrain_thetas
 from repro.models.base import TwiceDifferentiableClassifier
@@ -36,10 +37,11 @@ class RetrainInfluence(InfluenceEstimator):
         warm_start: bool = True,
         evaluation: str = "hard",
         n_jobs: int | None = 1,
+        artifacts: ModelArtifacts | None = None,
     ) -> None:
         if evaluation == "linear":
             raise ValueError("retraining computes exact parameters; use 'hard' or 'smooth'")
-        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
+        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation, artifacts)
         self.warm_start = bool(warm_start)
         self.n_jobs = n_jobs
 

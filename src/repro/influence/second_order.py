@@ -51,6 +51,7 @@ import numpy as np
 from scipy.linalg import lapack
 
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
 from repro.influence.hessian import HessianSolver
 from repro.models.base import TwiceDifferentiableClassifier
@@ -89,26 +90,25 @@ class SecondOrderInfluence(InfluenceEstimator):
         damping: float = 0.0,
         variant: str = "exact",
         evaluation: str = "smooth",
+        artifacts: ModelArtifacts | None = None,
     ) -> None:
         if variant not in ("exact", "series"):
             raise ValueError(f"variant must be 'exact' or 'series', got {variant!r}")
-        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation)
+        super().__init__(model, X_train, y_train, metric, test_ctx, evaluation, artifacts)
         self.variant = variant
         self.damping = damping
-        self.hessian = model.hessian(self.X_train, self.y_train)
-        self.solver = HessianSolver(self.hessian, damping=damping)
-        self._factors: tuple[np.ndarray, np.ndarray, float] | None | str = "unset"
+        # Hessian, factorization, rank-one factors, and the eigenbasis
+        # rotations all live in the (possibly shared) artifacts bundle:
+        # estimators of different metrics / groups / variants with the same
+        # damping reuse one factorization and one set of rotated caches.
+        self.hessian = self.artifacts.hessian
+        self.solver = self.artifacts.solver(damping)
         self.exact_batch_stats = {
             "woodbury": 0,
             "fallback_size": 0,
             "fallback_cond": 0,
             "fallback_factors": 0,
         }
-        # Eigenbasis-rotated per-sample gradients and √w-scaled curvature
-        # rows, built lazily on the first batched exact query (θ* is fixed,
-        # so they never change): masks then hit the eigenbasis directly and
-        # the per-call rotation GEMMs disappear.
-        self._exact_rot: tuple[np.ndarray, np.ndarray] | None = None
 
     def param_change(self, indices: np.ndarray) -> np.ndarray:
         indices = self._subset_size_ok(indices)
@@ -201,13 +201,13 @@ class SecondOrderInfluence(InfluenceEstimator):
         eigvals, eigvecs = self.solver.eigendecomposition()
         curved = weights > 0.0
         all_curved = bool(curved.all())
-        if self._exact_rot is None:
-            sqrt_w = np.sqrt(weights, where=curved, out=np.zeros_like(weights))
-            self._exact_rot = (
-                self.per_sample_grads @ eigvecs,
-                (phi * sqrt_w[:, None]) @ eigvecs,
-            )
-        psg_rot, phi_rot = self._exact_rot
+        # Eigenbasis-rotated per-sample gradients and √w-scaled curvature
+        # rows, built lazily on the first batched exact query (θ* is fixed,
+        # so they never change) and shared through the artifacts bundle:
+        # masks hit the eigenbasis directly and the per-call rotation GEMMs
+        # disappear — for every estimator riding the bundle, not just this
+        # one.
+        psg_rot, phi_rot = self.artifacts.exact_rotation(self.damping)
         stats = self.exact_batch_stats
         deltas = np.empty((masks.shape[0], p))
         for start in range(0, masks.shape[0], _EXACT_BLOCK):
@@ -360,9 +360,4 @@ class SecondOrderInfluence(InfluenceEstimator):
         return z, bad
 
     def _hessian_factors(self) -> tuple[np.ndarray, np.ndarray, float] | None:
-        if self._factors == "unset":
-            try:
-                self._factors = self.model.hessian_factors(self.X_train, self.y_train)
-            except NotImplementedError:
-                self._factors = None
-        return self._factors  # type: ignore[return-value]
+        return self.artifacts.hessian_factors()

@@ -13,6 +13,7 @@ The subsystem has three layers:
   backends behind ``GopherConfig(engine=...)``.
 """
 
+from repro.mining.alphabet import AlphabetCache, PredicateAlphabet, resolve_alphabet
 from repro.mining.bitset import (
     covers_all,
     extent_key,
@@ -34,12 +35,15 @@ from repro.mining.engine import (
 )
 
 __all__ = [
+    "AlphabetCache",
     "CandidateEngine",
     "CandidateResult",
     "ClosedMiningEngine",
     "LatticeEngine",
     "MinedCandidates",
+    "PredicateAlphabet",
     "as_candidate_result",
+    "resolve_alphabet",
     "covers_all",
     "extent_key",
     "intersect",

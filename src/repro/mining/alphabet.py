@@ -1,0 +1,144 @@
+"""Per-dataset cache of the level-1 predicate alphabet and packed tidlists.
+
+Both candidate-generation backends start from the same state: every single
+predicate whose support strictly exceeds τ, with its boolean row mask —
+the lattice's level 1 and the miner's item alphabet.  Building it scans
+every column, bins every numeric feature, and materializes one (n,) mask
+per predicate; the miner additionally sorts the alphabet
+frequency-ascending and packs the masks into the (K, ceil(n/8)) tidlist
+matrix its bitset traversal runs on.  None of that depends on the model,
+the metric, or the protected group — only on the training table and the
+generation parameters (τ, bins, excluded features) — so an interactive
+audit re-running the search for every (metric, group, estimator) pair
+should pay it once.
+
+:class:`PredicateAlphabet` is the built state for one parameter key;
+:class:`AlphabetCache` owns one table and hands out alphabets keyed by
+``(support_threshold, num_bins, exclude_features)``.  Both engines accept
+a cache through their ``generate(..., alphabet_cache=...)`` parameter
+(:class:`repro.core.AuditSession` threads one through every query);
+without a cache each search builds a throwaway alphabet exactly as
+before.
+
+``stats`` counts ``alphabet_builds`` (level-1 predicate/mask generation)
+and ``tidlist_builds`` (miner-side sort + bit-pack), so the audit
+benchmark can assert a whole multi-query audit built each exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mining.bitset import pack_rows
+from repro.patterns.candidates import generate_single_predicates
+from repro.patterns.predicate import Predicate
+from repro.tabular import Table
+
+
+class PredicateAlphabet:
+    """The level-1 search state for one (table, τ, bins, exclude) key.
+
+    ``entries`` is the list of ``(predicate, mask)`` pairs both engines
+    consume, full-coverage predicates already dropped (they "remove the
+    entire data" and have no explanatory value); ``num_generated`` keeps
+    the pre-filter count the lattice reports as level-1 merges tried.
+    Masks are shared read-only across queries — consumers combine them
+    with fresh ANDs and never mutate them in place.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        support_threshold: float,
+        num_bins: int,
+        exclude_features: set[str] | None,
+        stats: dict[str, int] | None = None,
+    ) -> None:
+        singles = generate_single_predicates(
+            table, support_threshold, num_bins, exclude_features
+        )
+        self.num_generated = len(singles)
+        self.entries: list[tuple[Predicate, np.ndarray]] = [
+            (predicate, mask) for predicate, mask in singles if not mask.all()
+        ]
+        self.num_rows = table.num_rows
+        self._stats = stats if stats is not None else {"tidlist_builds": 0}
+        self._stats.setdefault("tidlist_builds", 0)
+        self._miner_items: tuple[list[Predicate], np.ndarray] | None = None
+
+    def miner_items(self) -> tuple[list[Predicate], np.ndarray]:
+        """The miner's view: frequency-ascending predicates + packed tids.
+
+        Built lazily (lattice-only workloads never pack) and cached — the
+        sort order and the (K, ceil(n/8)) uint8 tidlist matrix are
+        deterministic functions of the alphabet, so one build serves every
+        mining query of the audit.  See :mod:`repro.mining.closed` for why
+        the order must be frequency-ascending with sort-key tie-breaks.
+        """
+        if self._miner_items is None:
+            ordered = sorted(
+                self.entries, key=lambda pair: (int(pair[1].sum()), pair[0].sort_key())
+            )
+            predicates = [predicate for predicate, _ in ordered]
+            if ordered:
+                tids = pack_rows(np.stack([mask for _, mask in ordered]))
+            else:
+                tids = np.zeros((0, (self.num_rows + 7) // 8), dtype=np.uint8)
+            self._miner_items = (predicates, tids)
+            self._stats["tidlist_builds"] += 1
+        return self._miner_items
+
+
+class AlphabetCache:
+    """Alphabets of one training table, shared across search queries.
+
+    The cache is bound to a table *instance*: engines handed a cache for a
+    different table refuse it rather than silently serving masks for the
+    wrong rows.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._alphabets: dict[tuple, PredicateAlphabet] = {}
+        self.stats = {"alphabet_builds": 0, "tidlist_builds": 0}
+
+    def get(
+        self,
+        support_threshold: float,
+        num_bins: int = 4,
+        exclude_features: set[str] | None = None,
+    ) -> PredicateAlphabet:
+        """The (cached) alphabet for one parameter combination."""
+        key = (
+            float(support_threshold),
+            int(num_bins),
+            frozenset(exclude_features or ()),
+        )
+        if key not in self._alphabets:
+            self._alphabets[key] = PredicateAlphabet(
+                self.table, support_threshold, num_bins, exclude_features, self.stats
+            )
+            self.stats["alphabet_builds"] += 1
+        return self._alphabets[key]
+
+    def check_table(self, table: Table) -> None:
+        """Raise unless ``table`` is the table this cache was built on."""
+        if table is not self.table:
+            raise ValueError(
+                "alphabet cache was built for a different table; per-dataset caches "
+                "cannot be shared across training tables"
+            )
+
+
+def resolve_alphabet(
+    table: Table,
+    alphabet_cache: AlphabetCache | None,
+    support_threshold: float,
+    num_bins: int,
+    exclude_features: set[str] | None,
+) -> PredicateAlphabet:
+    """One alphabet for a search: from the cache if given, else throwaway."""
+    if alphabet_cache is None:
+        return PredicateAlphabet(table, support_threshold, num_bins, exclude_features)
+    alphabet_cache.check_table(table)
+    return alphabet_cache.get(support_threshold, num_bins, exclude_features)

@@ -53,11 +53,18 @@ node survives only when its estimated responsibility strictly exceeds the
 responsibility of its in-window ancestors (see
 :func:`repro.patterns.lattice._parent_bar` for the root-cause window).
 At depth 2 the DFS parent and extension item are exactly the lattice's
-two merge parents; deeper, the bar is one-sided on the DFS parent, so a
-node the lattice evaluates is never rejected *at the node itself* for a
-reason the lattice wouldn't have.  Two path-level gaps versus Algorithm 1
-remain inherent to depth-first search and are accepted (the engine
-equivalence suite pins the workloads where they never fire):
+two merge parents.  Deeper, a *descent-bar cache* reconstructs the
+lattice's merge-pair bars extent-wise: the traversal records every scored
+extent as survived or defeated, and a depth-k extension looks up the
+extents of its other (k−1)-sub-patterns — known survivors raise the bar
+exactly as a producing merge parent would, and when every one of them is
+known-defeated the pattern is unformable in the lattice (no surviving
+pair can merge to it) and the branch is skipped without an influence
+evaluation.  Unknown sub-extents stay conservative (no bar raise, no
+veto), so a missed lookup degrades to the one-sided DFS-parent bar rather
+than over-pruning.  Two path-level gaps versus Algorithm 1 remain
+inherent to depth-first search and are accepted (the engine equivalence
+suite pins the workloads where they never fire):
 
 * pruning a node kills its whole ascending subtree, while the lattice
   can still reach a deeper pattern through an alternative surviving
@@ -85,8 +92,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.influence.estimators import InfluenceEstimator
+from repro.mining.alphabet import PredicateAlphabet
 from repro.mining.bitset import covers_all, extent_key, pack_rows, popcount
-from repro.patterns.candidates import generate_single_predicates
 from repro.patterns.lattice import LatticeLevelStats, PatternStats, _baseline, _parent_bar
 from repro.patterns.pattern import Pattern
 from repro.patterns.predicate import Predicate
@@ -99,11 +106,16 @@ class _Node:
 
     extent: np.ndarray  # (w,) uint8 — packed row mask of the extent
     count: int  # |extent|
-    last_item: int  # index of the last extension item on the path
+    items: tuple[int, ...]  # the ascending item path (= the generator)
     depth: int  # number of extension items on the path (= generator size)
     bar: float  # responsibility the node must strictly exceed
     responsibility: float = 0.0
     bias_change: float = 0.0
+
+    @property
+    def last_item(self) -> int:
+        """Index of the last extension item on the path (-1 at the root)."""
+        return self.items[-1] if self.items else -1
 
 
 @dataclass
@@ -176,6 +188,7 @@ def mine_closed_candidates(
     min_responsibility: float = 0.0,
     max_responsibility: float = 1.25,
     batch_size: int = 1024,
+    alphabet=None,
 ) -> MinedCandidates:
     """Mine all closed candidate explanations of ``table``.
 
@@ -184,7 +197,11 @@ def mine_closed_candidates(
     behind :class:`repro.mining.engine.CandidateEngine`.  ``batch_size``
     bounds how many packed extents are buffered per influence call (the
     boolean unpack inside the estimator is further chunked, so it does not
-    bound mask memory — the packed representation does).
+    bound mask memory — the packed representation does).  ``alphabet`` is
+    an optional pre-built :class:`repro.mining.alphabet.PredicateAlphabet`
+    whose frequency-ascending packed tidlists are reused instead of
+    re-generated — how an :class:`repro.core.AuditSession` shares one
+    tidlist build across every query of an audit.
     """
     if max_predicates < 1:
         raise ValueError(f"max_predicates must be >= 1, got {max_predicates}")
@@ -198,25 +215,23 @@ def mine_closed_candidates(
         )
 
     start = time.perf_counter()
-    singles = [
-        (predicate, mask)
-        for predicate, mask in generate_single_predicates(
+    if alphabet is None:
+        alphabet = PredicateAlphabet(
             table, support_threshold, num_bins, exclude_features
         )
-        if not mask.all()  # full-coverage patterns have no explanatory value
-    ]
     # Frequency-ascending item order (LCM's standard heuristic), sort-key
-    # tie-broken for determinism.  Rarest-first matters beyond speed here:
-    # an item subsumed by another (e.g. ``age >= 46`` inside ``age >= 38``)
-    # must come *before* its subsumer, so closures list subsuming items
-    # after the canonical prefix and nested-threshold chains don't inflate
-    # the canonical path depth past the generator size.
-    singles.sort(key=lambda pair: (int(pair[1].sum()), pair[0].sort_key()))
-    predicates: list[Predicate] = [predicate for predicate, _ in singles]
-    if not singles:
+    # tie-broken for determinism, full-coverage predicates dropped.
+    # Rarest-first matters beyond speed here: an item subsumed by another
+    # (e.g. ``age >= 46`` inside ``age >= 38``) must come *before* its
+    # subsumer, so closures list subsuming items after the canonical prefix
+    # and nested-threshold chains don't inflate the canonical path depth
+    # past the generator size.  The ordered predicates and the packed
+    # (K, w) tidlist matrix are built once per alphabet and shared across
+    # queries.
+    predicates, tids = alphabet.miner_items()
+    if not predicates:
         return MinedCandidates([], [LatticeLevelStats(1, 0, 0, time.perf_counter() - start)], 0, 0)
-    tids = pack_rows(np.stack([mask for _, mask in singles]))  # (K, w)
-    num_items = len(singles)
+    num_items = len(predicates)
 
     cache = _InfluenceCache(estimator, num_rows, batch_size)
     # Level-1 pre-pass: every distinct item extent in one batched sweep —
@@ -230,9 +245,32 @@ def mine_closed_candidates(
     survivors = _DepthCounter()
     seconds = _DepthCounter()
 
+    # Sub-extent → descent-bar cache (the lattice's merge-pair bars,
+    # reconstructed extent-wise).  ``survived`` maps the extent of every
+    # node that passed pruning to its responsibility; ``defeated`` holds
+    # extents scored and pruned on every path walked so far.  A deep node's
+    # merge parents in Algorithm 1 are its (k−1)-sub-patterns — for the
+    # path P extended by item j those are P itself (the DFS parent) and
+    # (P∖{x})∪{j} for each x in P, whose extents are cheap tidlist ANDs.
+    # The depth-first order visits (and batches) those sub-extents before P
+    # is expanded in all but batch-boundary races, so the lookup almost
+    # always resolves.
+    survived: dict[bytes, float] = {}
+    defeated: set[bytes] = set()
+
     def children(node: _Node) -> list[_Node]:
         out: list[_Node] = []
         siblings: set[bytes] = set()
+        deep = prune_by_responsibility and node.depth >= 2
+        if deep:
+            # Extents of P∖{x}, shared by every extension of this node.
+            co_parents: list[np.ndarray] = []
+            for drop in range(node.depth):
+                kept = [k for i, k in enumerate(node.items) if i != drop]
+                extent = tids[kept[0]]
+                for k in kept[1:]:
+                    extent = extent & tids[k]
+                co_parents.append(extent)
         for j in range(node.last_item + 1, num_items):
             tried.add(node.depth + 1, 1)
             extent = node.extent & tids[j]
@@ -253,7 +291,6 @@ def mine_closed_candidates(
                 # extent; its subtree covers a superset of this one's
                 # extension range, so this branch adds nothing.
                 continue
-            siblings.add(key)
             if not prune_by_responsibility or node.depth == 0:
                 bar = -np.inf
             elif node.depth == 1:
@@ -261,20 +298,42 @@ def mine_closed_candidates(
                 # exactly the lattice's two level-1 merge parents.
                 bar = _parent_bar(node.responsibility, item_resp[j], max_responsibility)
             else:
-                # Deeper, the extension item is a *level-1* ancestor the
-                # lattice never compares against — folding it in could
-                # prune subtrees the lattice keeps (unrecoverable), so the
-                # descent bar uses the DFS parent only; the extra
-                # survivors this admits are filtered per node by the
-                # emission replay, which can only drop, never resurrect.
+                # Deeper, the lattice's merge parents are the (k−1)-sub-
+                # patterns (P∖{x})∪{j}, not the level-1 extension item.
+                # Their extents are looked up in the descent-bar cache:
+                # every known-surviving one raises the bar exactly as a
+                # producing merge parent would, and when *all* of them are
+                # known-defeated the lattice has no surviving pair left to
+                # merge — the pattern is unformable and the whole branch
+                # (evaluation included) is skipped.  Unknown sub-extents
+                # (not yet scored, or support-dead along another branch
+                # shape) stay conservative: they neither raise the bar nor
+                # veto formability, so a missed lookup degrades to the
+                # one-sided parent bar rather than over-pruning.  This is
+                # still an extent-level approximation of the lattice's
+                # pattern-level, first-producing-pair bar — the engine
+                # equivalence suite pins the workloads where they agree.
                 bar = _parent_bar(node.responsibility, -np.inf, max_responsibility)
-            out.append(_Node(extent, count, j, node.depth + 1, bar))
+                formable = False
+                for co_parent in co_parents:
+                    sub_key = extent_key(co_parent & tids[j])
+                    resp = survived.get(sub_key)
+                    if resp is not None:
+                        formable = True
+                        if 0.0 < resp <= max_responsibility:
+                            bar = max(bar, resp)
+                    elif sub_key not in defeated:
+                        formable = True
+                if not formable:
+                    continue
+            siblings.add(key)
+            out.append(_Node(extent, count, node.items + (j,), node.depth + 1, bar))
         return out
 
     root = _Node(
         extent=pack_rows(np.ones(num_rows, dtype=bool)),
         count=num_rows,
-        last_item=-1,
+        items=(),
         depth=0,
         bar=-np.inf,
     )
@@ -296,14 +355,21 @@ def mine_closed_candidates(
         cache.evaluate([node.extent for node in batch])
         flush_seconds = time.perf_counter() - flush_start
         for node in batch:
-            visited_keys.add(extent_key(node.extent))
+            key = extent_key(node.extent)
+            visited_keys.add(key)
             seconds.add(node.depth, flush_seconds / len(batch))
             node.responsibility, node.bias_change = cache.lookup(node.extent)
             if prune_by_responsibility and node.responsibility <= node.bar:
-                continue  # heuristic 2 — the whole subtree dies with it
+                # heuristic 2 — the whole subtree dies with it.  Record the
+                # defeat for the descent-bar cache unless another path
+                # already carried this extent through.
+                if key not in survived:
+                    defeated.add(key)
+                continue
+            survived[key] = node.responsibility
+            defeated.discard(key)
             survivors.add(node.depth, 1)
             if node.responsibility >= min_responsibility:
-                key = extent_key(node.extent)
                 if key not in emitted_keys:
                     # The same extent can be revisited through another
                     # branch; the representative is extent-determined, so

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.influence.estimators import InfluenceEstimator
+from repro.mining.alphabet import AlphabetCache, resolve_alphabet
 from repro.patterns.lattice import (
     LatticeLevelStats,
     LatticeResult,
@@ -75,8 +76,14 @@ class CandidateEngine(Protocol):
         min_responsibility: float = 0.0,
         max_responsibility: float = 1.25,
         batch_size: int = 1024,
+        alphabet_cache: AlphabetCache | None = None,
     ) -> CandidateResult:
-        """Run the search and return every surviving scored candidate."""
+        """Run the search and return every surviving scored candidate.
+
+        ``alphabet_cache`` shares the level-1 predicate alphabet (and, for
+        the miner, its packed tidlists) across repeated searches over the
+        same table — the per-dataset half of the audit-session cost split.
+        """
         ...
 
 
@@ -101,6 +108,7 @@ class LatticeEngine:
         min_responsibility: float = 0.0,
         max_responsibility: float = 1.25,
         batch_size: int = 1024,
+        alphabet_cache: AlphabetCache | None = None,
     ) -> CandidateResult:
         lattice = compute_candidates(
             table,
@@ -114,6 +122,9 @@ class LatticeEngine:
             max_responsibility=max_responsibility,
             batch=self.batch,
             batch_size=batch_size,
+            alphabet=resolve_alphabet(
+                table, alphabet_cache, support_threshold, num_bins, exclude_features
+            ),
         )
         return CandidateResult(
             candidates=lattice.candidates,
@@ -141,6 +152,7 @@ class ClosedMiningEngine:
         min_responsibility: float = 0.0,
         max_responsibility: float = 1.25,
         batch_size: int = 1024,
+        alphabet_cache: AlphabetCache | None = None,
     ) -> CandidateResult:
         from repro.mining.closed import mine_closed_candidates
 
@@ -155,6 +167,9 @@ class ClosedMiningEngine:
             min_responsibility=min_responsibility,
             max_responsibility=max_responsibility,
             batch_size=batch_size,
+            alphabet=resolve_alphabet(
+                table, alphabet_cache, support_threshold, num_bins, exclude_features
+            ),
         )
         return CandidateResult(
             candidates=mined.candidates,

@@ -149,6 +149,18 @@ class TwiceDifferentiableClassifier(ABC):
     def num_params(self) -> int:
         """Dimension p of the parameter vector."""
 
+    @property
+    def num_features(self) -> int | None:
+        """Input feature dimension the model is bound to (None before fit).
+
+        All built-in models record the width of the matrix they were
+        fitted on; pipeline code uses this to reject a pre-fitted model
+        whose feature dimension does not match a fresh encoding *before*
+        the mismatch surfaces as a confusing shape error deep inside an
+        influence query.
+        """
+        return getattr(self, "_num_features", None)
+
     @abstractmethod
     def clone(self) -> "TwiceDifferentiableClassifier":
         """A fresh unfitted copy with identical hyper-parameters."""

@@ -116,6 +116,7 @@ def compute_candidates(
     max_responsibility: float = 1.25,
     batch: bool = True,
     batch_size: int = 1024,
+    alphabet=None,
 ) -> LatticeResult:
     """Run Algorithm 1 over ``table`` and return all surviving candidates.
 
@@ -155,6 +156,12 @@ def compute_candidates(
     batch_size:
         Maximum candidates per batched influence call; bounds the (m, n)
         mask matrix handed to the estimator.
+    alphabet:
+        A pre-built level-1 :class:`repro.mining.alphabet.PredicateAlphabet`
+        for *this* table and *these* generation parameters, letting many
+        searches (different metrics, groups, estimators) share one
+        predicate/mask build.  ``None`` generates the level-1 candidates
+        locally, exactly as before.
     """
     if max_predicates < 1:
         raise ValueError(f"max_predicates must be >= 1, got {max_predicates}")
@@ -172,15 +179,23 @@ def compute_candidates(
 
     # --- level 1 ---------------------------------------------------------
     start = time.perf_counter()
-    singles = generate_single_predicates(table, support_threshold, num_bins, exclude_features)
-    survivors: list[tuple[Pattern, np.ndarray]] = []
-    for predicate, mask in singles:
-        if mask.all():
-            # A full-coverage pattern would "remove the entire data" — the
-            # paper notes such patterns have no explanatory value, and no
-            # model can be retrained without any training rows.
-            continue
-        survivors.append((Pattern([predicate]), mask))
+    if alphabet is not None:
+        # Shared pre-built alphabet: full-coverage predicates (which would
+        # "remove the entire data") are already filtered out of entries.
+        entries = alphabet.entries
+        num_singles = alphabet.num_generated
+    else:
+        singles = generate_single_predicates(
+            table, support_threshold, num_bins, exclude_features
+        )
+        num_singles = len(singles)
+        # A full-coverage pattern would "remove the entire data" — the
+        # paper notes such patterns have no explanatory value, and no
+        # model can be retrained without any training rows.
+        entries = [(predicate, mask) for predicate, mask in singles if not mask.all()]
+    survivors: list[tuple[Pattern, np.ndarray]] = [
+        (Pattern([predicate]), mask) for predicate, mask in entries
+    ]
     responsibilities, bias_changes = _evaluate_all(
         estimator, [mask for _, mask in survivors], batch, batch_size
     )
@@ -191,7 +206,7 @@ def compute_candidates(
         if resp >= min_responsibility:
             all_stats.append(_stats(pattern, mask, resp, dbias, num_rows))
     levels.append(
-        LatticeLevelStats(1, len(current), len(singles), time.perf_counter() - start)
+        LatticeLevelStats(1, len(current), num_singles, time.perf_counter() - start)
     )
 
     # --- levels 2..max ----------------------------------------------------

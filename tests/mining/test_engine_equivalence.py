@@ -87,6 +87,28 @@ class TestGermanEquivalence:
         )
         assert mined.num_evaluated < lattice.num_evaluated
 
+    @pytest.mark.parametrize("mp", [2, 3])
+    def test_never_over_evaluates_the_lattice(
+        self, mp, german_train, german_series_estimator
+    ):
+        """Regression for the seed-11 depth-3 over-evaluation.
+
+        With the one-sided DFS-parent descent bars the miner *extended*
+        depth-2 survivors the lattice could no longer pair-merge, so on
+        this exact fixture (German, seed 11) the depth-3 frontier issued
+        more influence evaluations than the lattice.  The sub-extent
+        descent-bar cache reconstructs the lattice's merge-pair bars and
+        formability, closing the gap — pinned here at both depths.
+        """
+        opts = dict(support_threshold=0.05, max_predicates=mp)
+        lattice = make_engine("lattice").generate(
+            german_train.table, german_series_estimator, **opts
+        )
+        mined = make_engine("mining").generate(
+            german_train.table, german_series_estimator, **opts
+        )
+        assert mined.num_evaluated <= lattice.num_evaluated
+
 
 class TestSyntheticEquivalence:
     @pytest.fixture(scope="class", params=[2, 3], ids=["mp2", "mp3"])

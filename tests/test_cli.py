@@ -84,6 +84,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Top-" in out
 
+    def test_explain_audit_runs(self, capsys):
+        """--audit fans every registered metric through one AuditSession
+        and reports the cache counters proving one shared start-up."""
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+                "--estimator", "first_order", "--max-predicates", "2",
+                "-k", "2", "--no-verify", "--audit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Audit:" in out
+        for metric in ("statistical_parity", "equal_opportunity",
+                       "predictive_parity", "average_odds"):
+            assert metric in out
+        assert "hessian_factorizations=1" in out
+        assert "alphabet_builds=1" in out
+
+    def test_audit_rejects_updates_flag(self, capsys):
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400",
+                "--audit", "--updates", "--no-verify",
+            ]
+        )
+        assert code == 2
+        assert "--updates" in capsys.readouterr().err
+
     def test_explain_updates_runs(self, capsys):
         # --no-verify leaves gt_bias_change empty, so this also exercises
         # the estimator fallback for the removal reference (no crash).
