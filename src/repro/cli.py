@@ -8,6 +8,10 @@ Three subcommands cover the common workflows without writing Python:
   :class:`~repro.core.AuditSession` answers *every* registered fairness
   metric for the dataset's protected attribute — the model is trained and
   the influence/alphabet caches are built exactly once across all queries.
+  ``--audit --edit KIND:COUNT`` then applies a random training-data edit
+  and re-certifies every query incrementally via
+  :meth:`~repro.core.AuditSession.delta_audit`, printing the rank-by-rank
+  before/after diff.
 * ``report`` — just fit a model and print accuracy + every fairness metric.
 * ``detect`` — the §6.7 poisoning-detection pipeline on a built-in dataset.
 
@@ -18,6 +22,7 @@ Examples
     python -m repro explain --dataset german --model logistic_regression -k 3
     python -m repro explain --dataset adult --metric equal_opportunity --updates
     python -m repro explain --dataset german --audit -k 3 --no-verify
+    python -m repro explain --dataset german --audit --no-verify --edit remove:10
     python -m repro report --dataset sqf
     python -m repro detect --dataset german --poison-fraction 0.1
 """
@@ -32,7 +37,7 @@ import numpy as np
 from repro.bench.workloads import DATASETS, MODELS, build_pipeline
 from repro.cluster import local_outlier_factor
 from repro.core import AuditSession, GopherExplainer
-from repro.datasets import TabularEncoder, train_test_split
+from repro.datasets import TabularEncoder, random_edit, train_test_split
 from repro.fairness import FairnessContext, fairness_report, get_metric, list_metrics
 from repro.influence import make_estimator
 from repro.models import LogisticRegression
@@ -74,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every registered fairness metric through one "
                          "artifact-cached AuditSession (one start-up, many queries) "
                          "instead of a single-metric explainer")
+    explain.add_argument("--edit", metavar="KIND:COUNT", default=None,
+                         help="after the audit, apply a random training-data edit "
+                         "(KIND is remove/relabel/add, e.g. 'remove:10') and "
+                         "re-certify the explanations incrementally via "
+                         "delta_audit; requires --audit")
+    explain.add_argument("--edit-seed", type=int, default=0,
+                         help="seed for the --edit row selection")
 
     report = sub.add_parser("report", help="accuracy + all fairness metrics")
     add_common(report)
@@ -90,6 +102,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     bundle = build_pipeline(
         args.dataset, args.model, metric=args.metric, n_rows=args.rows, seed=args.seed
     )
+    if args.edit is not None and not args.audit:
+        print(
+            "error: --edit re-certifies an audit incrementally and requires "
+            "--audit (the delta is diffed against the audit's before side)",
+            file=sys.stderr,
+        )
+        return 2
     if args.audit:
         if args.updates:
             print(
@@ -112,7 +131,23 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print()
         result = session.audit(k=args.k, verify=not args.no_verify)
         print(result.render())
-        counters = ", ".join(f"{name}={value}" for name, value in session.stats.items())
+        if args.edit is not None:
+            try:
+                kind, _, count_text = args.edit.partition(":")
+                edit = random_edit(
+                    session.train_data, kind, int(count_text or 1), seed=args.edit_seed
+                )
+            except ValueError as error:
+                print(f"error: bad --edit spec {args.edit!r}: {error}", file=sys.stderr)
+                return 2
+            delta = session.delta_audit(edit, k=args.k, verify=not args.no_verify)
+            print()
+            print(delta.render())
+        counters = ", ".join(
+            f"{name}={value}"
+            for name, value in sorted(session.stats.items())
+            if "." in name  # the namespaced keys; flat twins are deprecated aliases
+        )
         print()
         print(f"(session cache counters: {counters})")
         return 0

@@ -15,12 +15,20 @@ becoming a thin view over the session.
 from repro.core.config import GopherConfig
 from repro.core.explainer import GopherExplainer
 from repro.core.explanation import Explanation, ExplanationSet
-from repro.core.session import AuditQuery, AuditResult, AuditSession
+from repro.core.session import (
+    AuditQuery,
+    AuditResult,
+    AuditSession,
+    DeltaAuditResult,
+    DeltaQuery,
+)
 
 __all__ = [
     "AuditQuery",
     "AuditResult",
     "AuditSession",
+    "DeltaAuditResult",
+    "DeltaQuery",
     "Explanation",
     "ExplanationSet",
     "GopherConfig",

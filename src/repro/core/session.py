@@ -33,8 +33,10 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.config import GopherConfig
-from repro.core.explanation import ExplanationSet
+from repro.core.delta import replay_geometry, replay_search
+from repro.core.explanation import Explanation, ExplanationSet
 from repro.datasets.base import Dataset, ProtectedGroup
+from repro.datasets.edits import DataEdit
 from repro.datasets.encoding import TabularEncoder
 from repro.datasets.splits import train_test_split
 from repro.fairness.metrics import FairnessContext, get_metric, list_metrics
@@ -42,6 +44,7 @@ from repro.fairness.report import FairnessReport, fairness_report
 from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator, make_estimator
 from repro.mining.alphabet import AlphabetCache
+from repro.mining.engine import CandidateResult
 from repro.models.base import TwiceDifferentiableClassifier
 
 # "exact" and "series" are first-class names for the two second-order
@@ -149,6 +152,147 @@ class AuditResult:
         return self.render()
 
 
+@dataclass
+class DeltaQuery:
+    """One (metric, group) cell of a :meth:`AuditSession.delta_audit`.
+
+    ``before`` / ``after`` are the explanation sets straddling the edit.
+    ``certified`` records that the incremental certificate held — the
+    ``after`` ranking was produced by replaying the previous search
+    against the patched artifacts (see :mod:`repro.core.delta`);
+    ``recheck_ran`` records that a fresh engine search ran instead (on
+    certificate refusal, and for every query under ``recheck="always"``),
+    with ``reason`` carrying the refusal diagnostic.
+    """
+
+    metric: str
+    group: ProtectedGroup
+    before: ExplanationSet
+    after: ExplanationSet
+    certified: bool
+    recheck_ran: bool
+    seconds: float
+    reason: str = ""
+
+    def delta_records(self) -> list[dict]:
+        """Rank-by-rank diff of the two explanation sets.
+
+        One record per rank present on either side: the pattern, its
+        before/after responsibility and interestingness, and a ``status``
+        of ``"kept"`` (same pattern at the same rank), ``"moved"`` (pattern
+        present on both sides at different ranks), ``"entered"`` or
+        ``"dropped"``.
+        """
+        before_by_pattern = {e.pattern: e for e in self.before.explanations}
+        after_by_pattern = {e.pattern: e for e in self.after.explanations}
+        records = []
+        for rank in range(max(len(self.before), len(self.after))):
+            row: dict = {"rank": rank + 1}
+            old = self.before.explanations[rank] if rank < len(self.before) else None
+            new = self.after.explanations[rank] if rank < len(self.after) else None
+            if new is not None:
+                counterpart = before_by_pattern.get(new.pattern)
+                row["pattern"] = str(new.pattern)
+                row["responsibility"] = new.est_responsibility
+                row["interestingness"] = new.interestingness
+                if counterpart is not None:
+                    row["status"] = "kept" if counterpart.rank == new.rank else "moved"
+                    row["responsibility_before"] = counterpart.est_responsibility
+                    row["d_responsibility"] = (
+                        new.est_responsibility - counterpart.est_responsibility
+                    )
+                    row["d_interestingness"] = (
+                        new.interestingness - counterpart.interestingness
+                    )
+                else:
+                    row["status"] = "entered"
+            if old is not None and old.pattern not in after_by_pattern:
+                if new is None:
+                    row["pattern"] = str(old.pattern)
+                    row["status"] = "dropped"
+                    row["responsibility_before"] = old.est_responsibility
+                else:
+                    row["displaced_pattern"] = str(old.pattern)
+            records.append(row)
+        return records
+
+    def describe(self) -> str:
+        mode = "certified replay" if self.certified else "fresh search"
+        if not self.certified and self.reason:
+            mode += f" ({self.reason})"
+        return (
+            f"{self.metric} | {self.group.describe()} | {mode} | "
+            f"{len(self.after)} explanations in {self.seconds:.2f}s"
+        )
+
+
+@dataclass
+class DeltaAuditResult:
+    """The before/after answer of :meth:`AuditSession.delta_audit`.
+
+    ``after`` is a full :class:`AuditResult` over the edited data (it
+    becomes the session's ``last_audit``, so delta audits chain); ``stats``
+    snapshots the cache counters after the delta pass — on a fully
+    certified pass every build counter is unchanged and only the
+    ``*_patches`` / ``solver_updates`` counters moved.
+    """
+
+    edit: DataEdit
+    queries: list[DeltaQuery]
+    before: AuditResult
+    after: AuditResult
+    seconds: float
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> DeltaQuery:
+        return self.queries[index]
+
+    @property
+    def num_certified(self) -> int:
+        return sum(1 for q in self.queries if q.certified)
+
+    @property
+    def num_researched(self) -> int:
+        return sum(1 for q in self.queries if q.recheck_ran)
+
+    def render(self) -> str:
+        lines = [
+            f"Delta audit after {self.edit.describe()}: {len(self.queries)} queries, "
+            f"{self.num_certified} certified / {self.num_researched} re-searched "
+            f"({self.seconds:.2f}s)"
+        ]
+        for query in self.queries:
+            lines.append("")
+            lines.append(f"=== {query.describe()} ===")
+            for row in query.delta_records():
+                status = row.get("status", "?")
+                if status == "dropped":
+                    lines.append(
+                        f"  #{row['rank']} dropped: {row['pattern']} "
+                        f"(was R={row['responsibility_before']:+.2%})"
+                    )
+                    continue
+                change = ""
+                if "d_responsibility" in row:
+                    change = f"  ΔR={row['d_responsibility']:+.2%}"
+                lines.append(
+                    f"  #{row['rank']} {status}: {row['pattern']} "
+                    f"R={row['responsibility']:+.2%}{change}"
+                )
+            if not query.delta_records():
+                lines.append("  (no explanations on either side)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
 class AuditSession:
     """The per-model half of the Gopher pipeline, shared across queries.
 
@@ -197,9 +341,16 @@ class AuditSession:
         self.alphabet_cache: AlphabetCache | None = None
         self.setup_seconds: float = 0.0
         self._contexts: dict[ProtectedGroup, FairnessContext] = {}
+        self.last_audit: AuditResult | None = None
+        self._last_audit_key: tuple | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, train: Dataset, test: Dataset | None = None) -> "AuditSession":
+    def fit(
+        self,
+        train: Dataset,
+        test: Dataset | None = None,
+        encoder: TabularEncoder | None = None,
+    ) -> "AuditSession":
         """Run the per-model start-up once: encode, train, build caches.
 
         When ``test`` is omitted, ``train`` is split using the config's
@@ -207,12 +358,19 @@ class AuditSession:
         (and not refitted) only if its input dimension matches the fresh
         encoding — a stale model from an earlier encoding would otherwise
         poison every query of the session.
+
+        ``encoder`` lets the caller supply an already-fitted
+        :class:`TabularEncoder` instead of fitting one on ``train`` —
+        required when the model was fitted under another session's encoding
+        (the delta-vs-fresh equivalence harness rebuilds a session on
+        edited data this way, reusing the original encoder so the encoded
+        matrices agree bit for bit).
         """
         start = time.perf_counter()
         if test is None:
             train, test = train_test_split(train, self.config.test_fraction, self.config.seed)
         self.train_data, self.test_data = train, test
-        self.encoder = TabularEncoder().fit(train.table)
+        self.encoder = encoder if encoder is not None else TabularEncoder().fit(train.table)
         self.X_train = self.encoder.transform(train.table)
         self.X_test = self.encoder.transform(test.table)
         if self.model.theta is None:
@@ -229,6 +387,8 @@ class AuditSession:
         self.artifacts = ModelArtifacts(self.model, self.X_train, train.labels)
         self.alphabet_cache = AlphabetCache(train.table)
         self._contexts = {}
+        self.last_audit = None
+        self._last_audit_key = None
         self.setup_seconds = time.perf_counter() - start
         return self
 
@@ -241,14 +401,29 @@ class AuditSession:
     def stats(self) -> dict[str, int]:
         """Merged cache counters: influence artifacts + candidate alphabet.
 
-        Keys: ``per_sample_grad_builds``, ``hessian_builds``,
-        ``hessian_factorizations``, ``exact_rotation_builds``,
-        ``alphabet_builds``, ``tidlist_builds``.  A well-amortized audit
-        shows 1 (or 0, for caches its estimator never touches) everywhere.
+        Counters are namespaced by their layer — ``influence.*``
+        (``influence.hessian_factorizations``, ``influence.solver_updates``,
+        …) and ``mining.*`` (``mining.alphabet_builds``,
+        ``mining.tidlist_patches``, …) — so the two layers can never
+        silently shadow each other in the merge.  The historical flat names
+        (``hessian_factorizations``, ``alphabet_builds``, …) are kept as
+        deprecated read aliases of the same values.  A well-amortized audit
+        shows 1 (or 0, for caches its estimator never touches) on every
+        build counter; after :meth:`delta_audit` the build counters are
+        *still* 1 and the edit work shows up under the ``*_patches`` /
+        ``solver_updates`` counters instead.
         """
         self._require_fitted()
         assert self.artifacts is not None and self.alphabet_cache is not None
-        return {**self.artifacts.stats, **self.alphabet_cache.stats}
+        merged: dict[str, int] = {}
+        for name, value in self.artifacts.stats.items():
+            merged[f"influence.{name}"] = value
+        for name, value in self.alphabet_cache.stats.items():
+            merged[f"mining.{name}"] = value
+        # Deprecated flat aliases (pre-namespacing callers key on these).
+        merged.update(self.artifacts.stats)
+        merged.update(self.alphabet_cache.stats)
+        return merged
 
     def context_for(self, group: ProtectedGroup | None = None) -> FairnessContext:
         """The cached test-side context of a protected group.
@@ -264,6 +439,15 @@ class AuditSession:
         assert self.X_test is not None
         resolved = group if group is not None else self.test_data.protected
         if resolved not in self._contexts:
+            mask = resolved.privileged_mask(self.test_data.table)
+            if not mask.any() or mask.all():
+                side = "no rows" if not mask.any() else "every row"
+                raise ValueError(
+                    f"protected group '{resolved.describe()}' matches {side} of the "
+                    f"session's test split ({self.test_data.num_rows} rows); both "
+                    "sides of the comparison must be non-empty — check the "
+                    "privileged category/threshold against this split"
+                )
             self._contexts[resolved] = self.test_data.fairness_context(
                 self.X_test, resolved
             )
@@ -393,6 +577,230 @@ class AuditSession:
                         seconds=time.perf_counter() - start,
                     )
                 )
-        return AuditResult(
+        result = AuditResult(
             queries=queries, setup_seconds=self.setup_seconds, stats=dict(self.stats)
         )
+        # delta_audit diffs against the latest audit of the same grid.
+        self.last_audit = result
+        self._last_audit_key = self._audit_key(metric_names, group_list, k, verify, estimator)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _audit_key(metric_names, group_list, k, verify, estimator) -> tuple:
+        return (tuple(metric_names), tuple(group_list), int(k), bool(verify), estimator)
+
+    def apply_edit(self, edit: DataEdit) -> None:
+        """Apply a training-data edit to every shared cache, in place.
+
+        The dataset, the encoded training matrix, the influence artifacts
+        (gradients, Hessian, solver factorizations/eigendecompositions,
+        rotated curvature caches) and the candidate alphabet are all
+        *patched* for the edit — nothing heavy is rebuilt, which is the
+        point: the counters under ``session.stats`` show ``*_builds`` /
+        ``hessian_factorizations`` unchanged and the edit cost under
+        ``solver_updates`` / ``*_patches``.  The model is **not** refit
+        (influence debugging measures edits from the current optimum), and
+        the test split, encoder, and cached fairness contexts are
+        untouched.  Estimators built before the edit are invalidated via
+        the artifacts' version stamp; views and estimators must be minted
+        anew (``delta_audit`` does all of this for you).
+        """
+        self._require_fitted()
+        assert self.train_data is not None and self.encoder is not None
+        assert self.artifacts is not None and self.alphabet_cache is not None
+        new_train = self.train_data.apply_edit(edit)
+        X_add = y_add = None
+        if edit.num_added:
+            X_add = self.encoder.transform(edit.add_table)
+            y_add = edit.add_labels
+        self.artifacts.apply_edit(
+            remove_indices=edit.remove_indices,
+            relabel_indices=edit.relabel_indices,
+            relabel_labels=edit.relabel_labels,
+            X_add=X_add,
+            y_add=y_add,
+        )
+        self.alphabet_cache.apply_edit(edit, new_train.table)
+        self.train_data = new_train
+        # The artifacts' patched matrix is row-for-row identical to
+        # re-encoding the edited table (the encoder is row-wise); sharing
+        # the instance keeps the estimators' identity fast path.
+        self.X_train = self.artifacts.X_train
+
+    def delta_audit(
+        self,
+        edit: DataEdit,
+        metrics: list[str] | None = None,
+        groups: list[ProtectedGroup] | None = None,
+        k: int = 3,
+        verify: bool = False,
+        estimator: str | None = None,
+        recheck: str = "auto",
+    ) -> DeltaAuditResult:
+        """Re-audit after a data edit without redoing the start-up work.
+
+        Applies ``edit`` to the session (see :meth:`apply_edit`), then
+        answers the same (metric × group) grid as :meth:`audit` the cheap
+        way: each query *replays* the previous search against the patched
+        artifacts — re-scoring its recorded candidates with one packed
+        batched influence call and re-running the top-k selection — instead
+        of re-running the engine (:mod:`repro.core.delta` documents the
+        replay and its certificate).  The replay is *certified* when the
+        edit left the level-1 predicate alphabet unchanged and the search
+        is shallow enough (``max_predicates <= 2``) for its candidate
+        space to be a pure function of the alphabet; level-2 support
+        crossings and parent-collapse flips are repaired in place by
+        re-scoring the affected pairs.  A query whose certificate is
+        refused falls back to a fresh engine search through the (patched)
+        session caches, which is always correct.
+
+        ``recheck`` tunes the policy: ``"auto"`` (default) falls back only
+        on certificate refusal, ``"always"`` re-searches every query,
+        ``"never"`` raises ``RuntimeError`` on refusal instead of silently
+        paying a re-search — for benchmarks and tests that must stay on
+        the fast path.
+
+        The *before* side is the session's last :meth:`audit` of the same
+        grid when one exists, else a fresh pre-edit audit run first.
+        Returns a :class:`DeltaAuditResult`; its ``after`` side becomes the
+        session's ``last_audit``, so successive edits chain naturally.
+        """
+        self._require_fitted()
+        if recheck not in ("auto", "always", "never"):
+            raise ValueError(
+                f'recheck must be "auto", "always", or "never", got {recheck!r}'
+            )
+        start = time.perf_counter()
+        assert self.test_data is not None and self.artifacts is not None
+        metric_names = list(metrics) if metrics is not None else list_metrics()
+        group_list = list(groups) if groups is not None else [self.test_data.protected]
+        key = self._audit_key(metric_names, group_list, k, verify, estimator)
+        if self.last_audit is not None and self._last_audit_key == key:
+            before = self.last_audit
+        else:
+            before = self.audit(
+                metrics=metric_names, groups=group_list, k=k, verify=verify,
+                estimator=estimator,
+            )
+
+        # Certificate input (1): the level-1 alphabet of the audit's search
+        # key, captured on both sides of the edit.
+        cfg = self.config
+        assert self.alphabet_cache is not None
+        alphabet = self.alphabet_cache.get(
+            cfg.support_threshold, cfg.num_bins, cfg.exclude_features or None
+        )
+        specs_before = [predicate for predicate, _ in alphabet.entries]
+        self.apply_edit(edit)
+        alphabet = self.alphabet_cache.get(
+            cfg.support_threshold, cfg.num_bins, cfg.exclude_features or None
+        )
+        level1_stable = specs_before == [predicate for predicate, _ in alphabet.entries]
+        # The replay's structural state (packing, skeleton AND, support
+        # filter) is metric-independent: build it once for the whole grid.
+        geometry = None
+        if level1_stable and recheck != "always" and cfg.max_predicates <= 2:
+            geometry = replay_geometry(alphabet, cfg.support_threshold)
+
+        delta_queries: list[DeltaQuery] = []
+        after_queries: list[AuditQuery] = []
+        for bq in before.queries:
+            t0 = time.perf_counter()
+            view = self.explainer(metric=bq.metric, group=bq.group, estimator=estimator)
+            after_set, certified, recheck_ran, reason = self._delta_query(
+                bq, view, k, verify, recheck, level1_stable, alphabet, geometry
+            )
+            seconds = time.perf_counter() - t0
+            delta_queries.append(
+                DeltaQuery(
+                    metric=bq.metric,
+                    group=bq.group,
+                    before=bq.explanations,
+                    after=after_set,
+                    certified=certified,
+                    recheck_ran=recheck_ran,
+                    seconds=seconds,
+                    reason=reason,
+                )
+            )
+            after_queries.append(
+                AuditQuery(
+                    metric=bq.metric, group=bq.group,
+                    explanations=after_set, seconds=seconds,
+                )
+            )
+        after = AuditResult(
+            queries=after_queries, setup_seconds=self.setup_seconds,
+            stats=dict(self.stats),
+        )
+        self.last_audit = after
+        self._last_audit_key = key
+        return DeltaAuditResult(
+            edit=edit,
+            queries=delta_queries,
+            before=before,
+            after=after,
+            seconds=time.perf_counter() - start,
+            stats=dict(self.stats),
+        )
+
+    def _delta_query(
+        self,
+        before_query: AuditQuery,
+        view,
+        k: int,
+        verify: bool,
+        recheck: str,
+        level1_stable: bool,
+        alphabet,
+        geometry,
+    ) -> tuple[ExplanationSet, bool, bool, str]:
+        """Answer one delta-audit cell: replay, or fall back to re-search."""
+        cfg = view.config
+        if recheck == "always":
+            return view.explain(k=k, verify=verify), False, True, "recheck forced"
+
+        search_start = time.perf_counter()
+        if level1_stable:
+            record = getattr(before_query.explanations.lattice, "record", None)
+            replay, reason = replay_search(
+                record,
+                alphabet,
+                view.estimator,
+                cfg,
+                k,
+                view.protected_group.attribute,
+                geometry=geometry,
+            )
+        else:
+            replay, reason = None, "the edit changed the level-1 alphabet"
+        if replay is None:
+            if recheck == "never":
+                raise RuntimeError(
+                    f"delta_audit certificate refused for {before_query.metric!r} "
+                    f"({reason}) and recheck='never' forbids the fresh search"
+                )
+            return view.explain(k=k, verify=verify), False, True, reason
+        search_seconds = time.perf_counter() - search_start
+
+        explanations = [
+            Explanation.from_stats(i + 1, s) for i, s in enumerate(replay.selected)
+        ]
+        if verify:
+            view._verify(explanations, [s.mask() for s in replay.selected])
+        after_set = ExplanationSet(
+            explanations=explanations,
+            metric_name=cfg.metric,
+            original_bias=view.original_bias,
+            search_seconds=search_seconds,
+            filter_seconds=replay.filter_seconds,
+            lattice=CandidateResult(
+                candidates=replay.candidates,
+                levels=[],
+                engine="delta",
+                num_evaluated=replay.num_evaluated,
+                record=replay.record,
+            ),
+        )
+        return after_set, True, False, ""

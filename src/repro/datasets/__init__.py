@@ -9,6 +9,7 @@ CSV files can be loaded through the same classes when available.
 
 from repro.datasets.adult import load_adult
 from repro.datasets.base import Dataset, ProtectedGroup
+from repro.datasets.edits import DataEdit, random_edit
 from repro.datasets.binning import equal_width_thresholds, quantile_thresholds
 from repro.datasets.encoding import EncodedGroup, TabularEncoder
 from repro.datasets.german import load_german
@@ -16,6 +17,7 @@ from repro.datasets.splits import train_test_split
 from repro.datasets.sqf import load_sqf
 
 __all__ = [
+    "DataEdit",
     "Dataset",
     "EncodedGroup",
     "ProtectedGroup",
@@ -25,5 +27,6 @@ __all__ = [
     "load_german",
     "load_sqf",
     "quantile_thresholds",
+    "random_edit",
     "train_test_split",
 ]

@@ -159,6 +159,38 @@ class Dataset:
             self.favorable_label,
         )
 
+    def apply_edit(self, edit) -> "Dataset":
+        """The dataset after a :class:`repro.datasets.DataEdit`.
+
+        Application order is relabel → remove → add; all edit indices refer
+        to *this* dataset's rows.  Removal preserves the order of the
+        remaining rows and added rows are appended at the end, so cached
+        per-row state (gradient matrices, predicate masks) can be patched
+        by the same delete-then-append rule and stay aligned.  A
+        relabel-only edit returns a dataset sharing this table *instance* —
+        table-identity-keyed caches (the alphabet cache) remain valid.
+        """
+        if edit.max_index() >= self.num_rows:
+            raise IndexError(
+                f"edit refers to row {edit.max_index()} of a {self.num_rows}-row dataset"
+            )
+        labels = self.labels
+        if edit.num_relabelled:
+            labels = labels.copy()
+            labels[list(edit.relabel_indices)] = edit.relabel_labels
+        table = self.table
+        if edit.num_removed:
+            keep = np.ones(self.num_rows, dtype=bool)
+            keep[list(edit.remove_indices)] = False
+            if not keep.any() and not edit.num_added:
+                raise ValueError("edit would remove every row of the dataset")
+            table = table.take(np.flatnonzero(keep))
+            labels = labels[keep]
+        if edit.num_added:
+            table = table.concat(edit.add_table)
+            labels = np.concatenate([labels, edit.add_labels])
+        return Dataset(self.name, table, labels, self.protected, self.favorable_label)
+
     def renamed(self, name: str) -> "Dataset":
         out = Dataset(name, self.table, self.labels, self.protected, self.favorable_label)
         return out
@@ -188,9 +220,21 @@ class Dataset:
         from repro.fairness.metrics import FairnessContext
 
         group = protected if protected is not None else self.protected
+        mask = group.privileged_mask(self.table)
+        # Guard the degenerate splits up front with a *named* error: an
+        # empty privileged or protected side would otherwise surface as a
+        # NaN / division-by-zero deep inside the metric pass.
+        if not mask.any() or mask.all():
+            side = "no rows" if not mask.any() else "every row"
+            raise ValueError(
+                f"protected group '{group.describe()}' matches {side} of "
+                f"dataset {self.name!r} ({self.num_rows} rows); both the "
+                "privileged and the protected side must be non-empty — check "
+                "the privileged category/threshold against this split"
+            )
         return FairnessContext(
             X=X,
             y=self.labels,
-            privileged=group.privileged_mask(self.table),
+            privileged=mask,
             favorable_label=self.favorable_label,
         )

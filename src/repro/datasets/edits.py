@@ -1,0 +1,179 @@
+"""Data edits: the repair actions of the paper's §5 debugging loop.
+
+A fairness debugging session is a loop — audit, apply a repair, re-audit.
+:class:`DataEdit` is the value describing one repair step against the
+*training* split: remove rows, relabel rows, and/or append new rows.  All
+indices refer to the dataset **before** the edit; application order is
+fixed as relabel → remove → add (so an edit is unambiguous however it was
+composed), removal preserves the order of the remaining rows, and added
+rows are appended at the end.
+
+:meth:`Dataset.apply_edit` materializes the edited dataset;
+``ModelArtifacts.apply_edit`` / ``AlphabetCache.apply_edit`` patch the
+cached influence and mining state for the same edit without rebuilding it;
+and ``AuditSession.delta_audit`` drives the whole loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tabular import Table
+from repro.utils.validation import check_binary_labels
+
+
+def _index_tuple(indices, name: str) -> tuple[int, ...]:
+    arr = np.asarray(indices, dtype=np.int64).reshape(-1)
+    if arr.size and arr.min() < 0:
+        raise ValueError(f"{name} must be non-negative, got {int(arr.min())}")
+    if arr.size > 1 and np.unique(arr).size != arr.size:
+        raise ValueError(f"{name} contains duplicate indices")
+    return tuple(int(i) for i in arr)
+
+
+@dataclass(frozen=True, eq=False)
+class DataEdit:
+    """One edit of a labelled table: relabel, remove, and/or add rows.
+
+    Attributes
+    ----------
+    remove_indices:
+        Rows (pre-edit indices) to delete.
+    relabel_indices / relabel_labels:
+        Rows (pre-edit indices) whose label is replaced, with the new
+        binary labels, aligned.
+    add_table / add_labels:
+        Rows appended after removal, with their binary labels.
+
+    Use the :meth:`remove` / :meth:`relabel` / :meth:`add` factories for
+    single-action edits; the constructor accepts any combination (a
+    relabel and a removal must not target the same row — the composite
+    would be order-ambiguous to a reader even though application order is
+    fixed).
+    """
+
+    remove_indices: tuple[int, ...] = ()
+    relabel_indices: tuple[int, ...] = ()
+    relabel_labels: tuple[int, ...] = ()
+    add_table: Table | None = None
+    add_labels: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "remove_indices", _index_tuple(self.remove_indices, "remove_indices")
+        )
+        object.__setattr__(
+            self, "relabel_indices", _index_tuple(self.relabel_indices, "relabel_indices")
+        )
+        labels = np.asarray(self.relabel_labels, dtype=np.int64).reshape(-1)
+        if labels.size:
+            check_binary_labels(labels, "relabel_labels")
+        if len(labels) != len(self.relabel_indices):
+            raise ValueError(
+                f"relabel_labels has {len(labels)} entries for "
+                f"{len(self.relabel_indices)} relabel_indices"
+            )
+        object.__setattr__(self, "relabel_labels", tuple(int(v) for v in labels))
+        overlap = set(self.remove_indices) & set(self.relabel_indices)
+        if overlap:
+            raise ValueError(
+                f"rows {sorted(overlap)} are both removed and relabelled; "
+                "drop them from one of the two actions"
+            )
+        if (self.add_table is None) != (self.add_labels is None):
+            raise ValueError("add_table and add_labels must be given together")
+        if self.add_table is not None:
+            added = check_binary_labels(np.asarray(self.add_labels), "add_labels")
+            if len(added) != self.add_table.num_rows:
+                raise ValueError(
+                    f"add_labels length {len(added)} != added rows "
+                    f"{self.add_table.num_rows}"
+                )
+            object.__setattr__(self, "add_labels", added)
+        if self.is_empty:
+            raise ValueError("an edit must remove, relabel, or add at least one row")
+
+    # -- factories -----------------------------------------------------
+    @classmethod
+    def remove(cls, indices) -> "DataEdit":
+        """Edit that deletes the given rows."""
+        return cls(remove_indices=indices)
+
+    @classmethod
+    def relabel(cls, indices, labels) -> "DataEdit":
+        """Edit that replaces the labels of the given rows."""
+        return cls(relabel_indices=indices, relabel_labels=labels)
+
+    @classmethod
+    def add(cls, table: Table, labels) -> "DataEdit":
+        """Edit that appends the given labelled rows."""
+        return cls(add_table=table, add_labels=labels)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def num_removed(self) -> int:
+        return len(self.remove_indices)
+
+    @property
+    def num_relabelled(self) -> int:
+        return len(self.relabel_indices)
+
+    @property
+    def num_added(self) -> int:
+        return 0 if self.add_table is None else self.add_table.num_rows
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.num_removed or self.num_relabelled or self.num_added)
+
+    @property
+    def changes_rows(self) -> bool:
+        """True when the edit changes the *feature table* (not just labels)."""
+        return bool(self.num_removed or self.num_added)
+
+    def max_index(self) -> int:
+        """Largest pre-edit row index the edit refers to (-1 if none)."""
+        referenced = (*self.remove_indices, *self.relabel_indices)
+        return max(referenced) if referenced else -1
+
+    def describe(self) -> str:
+        parts = []
+        if self.num_relabelled:
+            parts.append(f"relabel {self.num_relabelled}")
+        if self.num_removed:
+            parts.append(f"remove {self.num_removed}")
+        if self.num_added:
+            parts.append(f"add {self.num_added}")
+        return f"edit({', '.join(parts)})"
+
+    def __repr__(self) -> str:  # labels/arrays are noise in tracebacks
+        return f"DataEdit<{self.describe()[5:-1]}>"
+
+
+def random_edit(dataset, kind: str, count: int, seed: int = 0) -> DataEdit:
+    """A seeded random edit of ``count`` rows of a dataset's training table.
+
+    ``kind`` is ``"remove"`` (delete random rows), ``"relabel"`` (flip the
+    labels of random rows), or ``"add"`` (append ``count`` rows resampled
+    from the dataset with their original labels — resampling keeps the
+    feature domain identical, so encoders and binners stay valid).  Used by
+    the CLI's ``--edit`` flag, the delta-audit fuzz tests, and the
+    benchmark.
+    """
+    if kind not in ("remove", "relabel", "add"):
+        raise ValueError(f"kind must be remove/relabel/add, got {kind!r}")
+    n = dataset.num_rows
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    if kind == "add":
+        picks = rng.integers(0, n, size=count)
+        return DataEdit.add(dataset.table.take(picks), dataset.labels[picks])
+    if count >= n:
+        raise ValueError(f"cannot {kind} {count} of {n} rows")
+    picks = rng.choice(n, size=count, replace=False)
+    if kind == "remove":
+        return DataEdit.remove(picks)
+    return DataEdit.relabel(picks, 1 - dataset.labels[picks])

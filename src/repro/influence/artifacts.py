@@ -71,11 +71,17 @@ class ModelArtifacts:
         self._factors: tuple[np.ndarray, np.ndarray, float] | None | str = "unset"
         self._exact_rot: dict[float, tuple[np.ndarray, np.ndarray]] = {}
         self._auto_learning_rate: float | None = None
+        # Monotone staleness token: bumped by apply_edit.  Estimators record
+        # it at construction and refuse to score once it moves on.
+        self.version = 0
         self.stats = {
             "per_sample_grad_builds": 0,
             "hessian_builds": 0,
             "hessian_factorizations": 0,
             "exact_rotation_builds": 0,
+            "edits": 0,
+            "solver_updates": 0,
+            "exact_rotation_patches": 0,
         }
 
     # ------------------------------------------------------------------
@@ -180,6 +186,215 @@ class ModelArtifacts:
             )
             self.stats["exact_rotation_builds"] += 1
         return self._exact_rot[key]
+
+    # ------------------------------------------------------------------
+    def apply_edit(
+        self,
+        remove_indices=(),
+        relabel_indices=(),
+        relabel_labels=(),
+        X_add: np.ndarray | None = None,
+        y_add: np.ndarray | None = None,
+    ) -> None:
+        """Patch every built cache for a training-data edit, in place.
+
+        The edit semantics mirror :class:`repro.datasets.DataEdit` after
+        encoding: indices refer to the *current* training matrix, the
+        application order is relabel → remove → add, removal preserves row
+        order, and added rows are appended.  ``X_add`` must already be
+        encoded with the same encoder as ``X_train``
+        (:meth:`repro.core.AuditSession.apply_edit` does the translation).
+
+        Nothing is rebuilt.  The Hessian is patched through the subset
+        identity ``n'·H' = n·H − k·H(removed) + k·H(added) + Δ(relabelled)``
+        (the L2 terms cancel exactly); the gradient matrix, rank-one
+        factors, and exact-rotation row caches are patched row-wise; and
+        every cached :class:`HessianSolver` is advanced through
+        :meth:`HessianSolver.updated` — a rank-k eigenbasis update when the
+        model exposes Hessian factors, a dense congruence otherwise, never
+        a Cholesky refactorization (``hessian_factorizations`` stays put;
+        the new work lands under ``solver_updates`` /
+        ``exact_rotation_patches``).  Unbuilt caches stay lazy and will be
+        built against the edited data on first use.
+
+        θ is *not* refit — influence debugging asks "how would the bias
+        move if we trained on the edited data", and every estimator measures
+        that from the current optimum.  The bump of :attr:`version`
+        invalidates estimators constructed against the pre-edit state.
+        """
+        if self.model.theta is None or not np.array_equal(self.theta, self.model.theta):
+            raise ValueError(
+                "model parameters changed since the artifacts were built; rebuild "
+                "the artifacts instead of editing them"
+            )
+        remove = np.asarray(remove_indices, dtype=np.int64).reshape(-1)
+        relabel = np.asarray(relabel_indices, dtype=np.int64).reshape(-1)
+        relabels = np.asarray(relabel_labels).reshape(-1)
+        n = self.num_train
+        for name, idx in (("remove_indices", remove), ("relabel_indices", relabel)):
+            if idx.size and (idx.min() < 0 or idx.max() >= n):
+                raise IndexError(f"{name} out of range for {n} training rows")
+            if idx.size > 1 and np.unique(idx).size != idx.size:
+                raise ValueError(f"{name} contains duplicate indices")
+        if np.intersect1d(remove, relabel).size:
+            raise ValueError("a row cannot be both removed and relabelled")
+        if relabels.shape != relabel.shape:
+            raise ValueError(
+                f"relabel_labels has {relabels.size} entries for {relabel.size} rows"
+            )
+        if (X_add is None) != (y_add is None):
+            raise ValueError("X_add and y_add must be given together")
+        if X_add is not None:
+            X_add = np.asarray(X_add, dtype=np.float64)
+            y_add = np.asarray(y_add).reshape(-1)
+            if X_add.ndim != 2 or X_add.shape[1] != self.X_train.shape[1]:
+                raise ValueError(
+                    f"X_add must have shape (k, {self.X_train.shape[1]}), "
+                    f"got {X_add.shape}"
+                )
+            if len(y_add) != len(X_add):
+                raise ValueError("X_add and y_add lengths differ")
+        k_add = 0 if X_add is None else len(X_add)
+        n_new = n - remove.size + k_add
+        if n_new <= 0:
+            raise ValueError("edit would leave the training set empty")
+        if not (remove.size or relabel.size or k_add):
+            raise ValueError("edit must remove, relabel, or add at least one row")
+        model = self.model
+
+        # Post-relabel label vector over the pre-edit rows.
+        y_patched = self.y_train
+        if relabel.size:
+            y_patched = y_patched.copy()
+            y_patched[relabel] = relabels
+        keep = np.ones(n, dtype=bool)
+        keep[remove] = False
+
+        # -- mean Hessian: subset-Hessian identity, L2 terms cancel -------
+        new_hessian: np.ndarray | None = None
+        if self._hessian is not None:
+            total = self._hessian * n
+            if relabel.size:
+                X_rel = self.X_train[relabel]
+                total = total + relabel.size * (
+                    model.hessian(X_rel, y_patched[relabel])
+                    - model.hessian(X_rel, self.y_train[relabel])
+                )
+            if remove.size:
+                total = total - remove.size * model.hessian(
+                    self.X_train[remove], self.y_train[remove]
+                )
+            if k_add:
+                total = total + k_add * model.hessian(X_add, y_add)
+            new_hessian = total / n_new
+
+        # -- fresh per-row state the patches below splice in --------------
+        grads_rel = grads_add = None
+        if self._per_sample_grads is not None:
+            if relabel.size:
+                grads_rel = model.per_sample_grads(
+                    self.X_train[relabel], y_patched[relabel]
+                )
+            if k_add:
+                grads_add = model.per_sample_grads(X_add, y_add)
+        phi_rel = w_rel = phi_add = w_add = None
+        update_vectors = update_weights = None
+        factors = self._factors if isinstance(self._factors, tuple) else None
+        if factors is not None:
+            phi_old, w_old, l2_ridge = factors
+            if relabel.size:
+                phi_rel, w_rel, _ = model.hessian_factors(
+                    self.X_train[relabel], y_patched[relabel]
+                )
+            if k_add:
+                phi_add, w_add, _ = model.hessian_factors(X_add, y_add)
+            # U rows / signed weights expressing Σ'wφφᵀ − Σwφφᵀ as U'diag(c)U.
+            vec_parts, weight_parts = [], []
+            if relabel.size:
+                vec_parts += [phi_old[relabel], phi_rel]
+                weight_parts += [-w_old[relabel], w_rel]
+            if remove.size:
+                vec_parts.append(phi_old[remove])
+                weight_parts.append(-w_old[remove])
+            if k_add:
+                vec_parts.append(phi_add)
+                weight_parts.append(w_add)
+            if vec_parts:
+                update_vectors = np.vstack(vec_parts)
+                update_weights = np.concatenate(weight_parts) / n_new
+
+        # -- solvers (and their exact-rotation row caches) -----------------
+        scale = n / n_new
+        for key, old_solver in list(self._solvers.items()):
+            if new_hessian is None:
+                raise RuntimeError("solver cache exists without a built hessian")
+            if update_vectors is not None:
+                shift = (old_solver.damping_used + l2_ridge) * (1.0 - scale)
+                new_solver, W = old_solver.updated(
+                    new_hessian,
+                    update_vectors=update_vectors,
+                    update_weights=update_weights,
+                    scale=scale,
+                    shift=shift,
+                )
+            else:
+                new_solver, W = old_solver.updated(new_hessian)
+            if key in self._exact_rot:
+                Q = old_solver.eigendecomposition()[1]
+                grad_rot, curve_rot = self._exact_rot[key]
+                if relabel.size:
+                    grad_rot = grad_rot.copy()
+                    curve_rot = curve_rot.copy()
+                    curved = w_rel > 0.0
+                    sqrt_w = np.sqrt(w_rel, where=curved, out=np.zeros_like(w_rel))
+                    grad_rot[relabel] = grads_rel @ Q
+                    curve_rot[relabel] = (phi_rel * sqrt_w[:, None]) @ Q
+                grad_rot = grad_rot[keep]
+                curve_rot = curve_rot[keep]
+                if k_add:
+                    curved = w_add > 0.0
+                    sqrt_w = np.sqrt(w_add, where=curved, out=np.zeros_like(w_add))
+                    grad_rot = np.vstack([grad_rot, grads_add @ Q])
+                    curve_rot = np.vstack([curve_rot, (phi_add * sqrt_w[:, None]) @ Q])
+                self._exact_rot[key] = (grad_rot @ W, curve_rot @ W)
+                self.stats["exact_rotation_patches"] += 1
+            self._solvers[key] = new_solver
+            self.stats["solver_updates"] += 1
+
+        # -- row-wise caches and the data itself ---------------------------
+        if self._per_sample_grads is not None:
+            grads = self._per_sample_grads
+            if relabel.size:
+                grads = grads.copy()
+                grads[relabel] = grads_rel
+            grads = grads[keep]
+            if k_add:
+                grads = np.vstack([grads, grads_add])
+            self._per_sample_grads = grads
+        if factors is not None:
+            phi_new, w_new = phi_old, w_old
+            if relabel.size:
+                phi_new, w_new = phi_new.copy(), w_new.copy()
+                phi_new[relabel] = phi_rel
+                w_new[relabel] = w_rel
+            phi_new, w_new = phi_new[keep], w_new[keep]
+            if k_add:
+                phi_new = np.vstack([phi_new, phi_add])
+                w_new = np.concatenate([w_new, w_add])
+            self._factors = (phi_new, w_new, l2_ridge)
+        if new_hessian is not None:
+            self._hessian = new_hessian
+        X_new = self.X_train[keep] if remove.size else self.X_train
+        y_new = y_patched[keep] if remove.size else y_patched
+        if k_add:
+            X_new = np.vstack([X_new, X_add])
+            y_new = np.concatenate([y_new, y_add])
+        self.X_train = X_new
+        self.y_train = y_new
+        self.num_train = n_new
+        self._auto_learning_rate = None
+        self.version += 1
+        self.stats["edits"] += 1
 
     def auto_learning_rate(self) -> float:
         """η = 1/λ_max(H), the shared one-step surrogate step size."""

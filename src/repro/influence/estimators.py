@@ -129,6 +129,7 @@ class InfluenceEstimator(ABC):
         self.evaluation = evaluation
         self.theta = artifacts.theta
         self.num_train = artifacts.num_train
+        self._artifacts_version = artifacts.version
         self.original_bias = metric.value(model, test_ctx)
         self.original_surrogate = metric.surrogate(model, test_ctx)
         self._grad_f: np.ndarray | None = None
@@ -252,6 +253,23 @@ class InfluenceEstimator(ABC):
         return -self.bias_change_batch(subsets, num_rows=num_rows) / baseline
 
     # -- helpers ----------------------------------------------------------
+    def _check_fresh(self) -> None:
+        """Raise if the shared artifacts were edited after this estimator.
+
+        ``ModelArtifacts.apply_edit`` bumps the bundle's version; an
+        estimator built before the edit still holds pre-edit references
+        (training matrix shape, cached solvers, the original bias of the
+        old data) and would silently score subsets of the wrong dataset.
+        Query entry points call this before touching any cache.
+        """
+        if self._artifacts_version != self.artifacts.version:
+            raise RuntimeError(
+                "the shared ModelArtifacts were edited after this estimator was "
+                "built (version "
+                f"{self._artifacts_version} vs {self.artifacts.version}); "
+                "construct a new estimator against the edited artifacts"
+            )
+
     def _check_packed(self, subsets, num_rows: int | None) -> np.ndarray | None:
         """Validate a packed uint8 batch; None when ``subsets`` is not one.
 
@@ -261,6 +279,7 @@ class InfluenceEstimator(ABC):
         subsets), and with it anything but a packed matrix over the
         training rows is an error.
         """
+        self._check_fresh()
         if num_rows is None:
             return None
         if num_rows != self.num_train:
@@ -303,6 +322,7 @@ class InfluenceEstimator(ABC):
         influence for the wrong subsets.  Mirrors the scalar guard against
         removing the entire training set, row by row.
         """
+        self._check_fresh()
         if isinstance(subsets, np.ndarray) and subsets.ndim == 1 and subsets.dtype != object:
             # A bare index array iterates element-wise into m *singleton*
             # subsets — almost certainly not what a caller migrating from
@@ -342,6 +362,7 @@ class InfluenceEstimator(ABC):
         return masks
 
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        self._check_fresh()
         indices = np.asarray(indices)
         if indices.dtype == bool:
             if indices.shape != (self.num_train,):

@@ -38,15 +38,123 @@ class HessianSolver:
         self._factor = self._factorize(hessian, damping)
         self._eig: tuple[np.ndarray, np.ndarray] | None = None
 
+    @classmethod
+    def from_eigendecomposition(
+        cls,
+        hessian: np.ndarray,
+        eigvals: np.ndarray,
+        eigvecs: np.ndarray,
+        damping: float = 0.0,
+    ) -> "HessianSolver":
+        """A solver over a known eigendecomposition — no factorization runs.
+
+        ``eigvals`` / ``eigvecs`` must decompose ``hessian + damping·I``.
+        This is the construction :meth:`updated` uses: a rank-k or
+        congruence update of an existing solver lands directly in the new
+        eigenbasis, and every solve can run there, so the Cholesky
+        factorization is never recomputed (the :attr:`factor` property
+        still materializes one lazily if some caller insists on it).
+
+        The ridge escalation of :meth:`_factorize` is mirrored on the
+        eigenvalues: the first ridge in the ×10 sequence starting at
+        ``damping`` under which the spectrum is positive becomes
+        ``damping_used``, and the stored eigenvalues are shifted to match.
+        """
+        self = cls.__new__(cls)
+        hessian = np.asarray(hessian, dtype=np.float64)
+        if hessian.ndim != 2 or hessian.shape[0] != hessian.shape[1]:
+            raise ValueError(f"hessian must be square, got shape {hessian.shape}")
+        self.dim = hessian.shape[0]
+        self.hessian = hessian
+        eigvals = np.asarray(eigvals, dtype=np.float64)
+        eigvecs = np.asarray(eigvecs, dtype=np.float64)
+        if eigvals.shape != (self.dim,) or eigvecs.shape != (self.dim, self.dim):
+            raise ValueError(
+                f"eigendecomposition shapes {eigvals.shape} / {eigvecs.shape} do not "
+                f"match dimension {self.dim}"
+            )
+        base = float(damping)
+        ridge = base
+        for _ in range(8):
+            if eigvals.min() + (ridge - base) > 0.0:
+                self.damping_used = ridge
+                if ridge != base:
+                    eigvals = eigvals + (ridge - base)
+                self._factor = None
+                self._eig = (eigvals, eigvecs)
+                return self
+            ridge = max(ridge * 10.0, 1e-8)
+        raise np.linalg.LinAlgError(
+            f"hessian could not be made positive definite even with damping {ridge:.1e}"
+        )
+
     @property
     def factor(self):
         """The ``scipy.linalg.cho_factor`` pair of the damped matrix.
 
         Exposed so callers can run their own ``cho_solve`` variants (e.g.
         triangular solves inside rank-k downdates) against the one cached
-        factorization instead of refactorizing.
+        factorization instead of refactorizing.  For an eigendecomposition-
+        mode solver the factor is materialized lazily on first access —
+        solves never need it there.
         """
+        if self._factor is None:
+            matrix = self.hessian
+            if self.damping_used:
+                matrix = matrix + self.damping_used * np.eye(self.dim)
+            self._factor = linalg.cho_factor(matrix, check_finite=False)
         return self._factor
+
+    def updated(
+        self,
+        new_hessian: np.ndarray,
+        update_vectors: np.ndarray | None = None,
+        update_weights: np.ndarray | None = None,
+        scale: float = 1.0,
+        shift: float = 0.0,
+    ) -> tuple["HessianSolver", np.ndarray]:
+        """A solver for ``new_hessian`` derived from this solver's eigenbasis.
+
+        With rank-k factors the caller certifies the identity
+
+        ``new_hessian + damping_used·I
+          = scale·M + shift·I + Uᵀ diag(c) U``
+
+        where ``M`` is this solver's damped matrix, ``U`` the (k, p)
+        ``update_vectors`` and ``c`` the ``update_weights``.  Rotating into
+        the cached eigenbasis ``M = Q Λ Qᵀ`` turns the right-hand side into
+        ``T = diag(scale·Λ + shift) + (UQ)ᵀ diag(c) (UQ)``; one small
+        ``eigh(T) = (Λ', W)`` then gives the new eigendecomposition as
+        ``(Λ', Q·W)`` without any Cholesky refactorization.  Without
+        factors the dense congruence ``T = Qᵀ(new_hessian + d₀·I)Q`` is
+        used instead — same rotation trick, O(p³) GEMMs but still no
+        factorization.
+
+        Returns ``(solver, W)``; ``W`` is the basis change from the old
+        eigenbasis to the new, so row caches rotated by ``Q`` (the exact
+        second-order rotation caches) become current via one ``@ W``.
+        """
+        eigvals, eigvecs = self.eigendecomposition()
+        new_hessian = np.asarray(new_hessian, dtype=np.float64)
+        if update_vectors is not None:
+            V = np.asarray(update_vectors, dtype=np.float64) @ eigvecs
+            weights = np.asarray(update_weights, dtype=np.float64).reshape(-1)
+            if V.shape[0] != weights.shape[0]:
+                raise ValueError(
+                    f"{V.shape[0]} update vectors but {weights.shape[0]} weights"
+                )
+            core = np.diag(scale * eigvals + shift)
+            core += (V * weights[:, None]).T @ V
+        else:
+            matrix = new_hessian
+            if self.damping_used:
+                matrix = matrix + self.damping_used * np.eye(self.dim)
+            core = eigvecs.T @ matrix @ eigvecs
+        new_eigvals, W = linalg.eigh(core, check_finite=False)
+        solver = HessianSolver.from_eigendecomposition(
+            new_hessian, new_eigvals, eigvecs @ W, damping=self.damping_used
+        )
+        return solver, W
 
     def eigendecomposition(self) -> tuple[np.ndarray, np.ndarray]:
         """Eigendecomposition ``(eigvals, eigvecs)`` of the damped matrix.
@@ -116,7 +224,12 @@ class HessianSolver:
         b = np.asarray(b, dtype=np.float64)
         if b.shape[0] != self.dim:
             raise ValueError(f"right-hand side has leading dimension {b.shape[0]}, expected {self.dim}")
-        return linalg.cho_solve(self._factor, b, check_finite=False)
+        if self._factor is not None:
+            return linalg.cho_solve(self._factor, b, check_finite=False)
+        eigvals, eigvecs = self._eig  # type: ignore[misc]
+        proj = eigvecs.T @ b
+        proj = proj / (eigvals if proj.ndim == 1 else eigvals[:, None])
+        return eigvecs @ proj
 
     def solve_many(self, B: np.ndarray) -> np.ndarray:
         """Return H⁻¹ bᵢ for every *row* of a (k, p) matrix, as (k, p).
@@ -129,7 +242,10 @@ class HessianSolver:
             raise ValueError(f"B must have shape (k, {self.dim}), got {B.shape}")
         if B.shape[0] == 0:
             return np.zeros_like(B)
-        return linalg.cho_solve(self._factor, B.T, check_finite=False).T
+        if self._factor is not None:
+            return linalg.cho_solve(self._factor, B.T, check_finite=False).T
+        eigvals, eigvecs = self._eig  # type: ignore[misc]
+        return ((B @ eigvecs) / eigvals[None, :]) @ eigvecs.T
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Return H x (with the damping used, for consistency with solve)."""

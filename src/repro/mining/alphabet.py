@@ -9,20 +9,39 @@ frequency-ascending and packs the masks into the (K, ceil(n/8)) tidlist
 matrix its bitset traversal runs on.  None of that depends on the model,
 the metric, or the protected group — only on the training table and the
 generation parameters (τ, bins, excluded features) — so an interactive
-audit re-running the search for every (metric, group, estimator) pair
+audit re-running the search for every (metric, group, engine) pair
 should pay it once.
 
 :class:`PredicateAlphabet` is the built state for one parameter key;
 :class:`AlphabetCache` owns one table and hands out alphabets keyed by
-``(support_threshold, num_bins, exclude_features)``.  Both engines accept
-a cache through their ``generate(..., alphabet_cache=...)`` parameter
-(:class:`repro.core.AuditSession` threads one through every query);
-without a cache each search builds a throwaway alphabet exactly as
-before.
+``(support_threshold, num_bins, exclude_features)`` — the exclude part
+normalized through
+:func:`repro.patterns.candidates.normalize_exclude_features`, so lists,
+tuples, sets, and single names all hit one cache entry.  Both engines
+accept a cache through their ``generate(..., alphabet_cache=...)``
+parameter (:class:`repro.core.AuditSession` threads one through every
+query); without a cache each search builds a throwaway alphabet exactly
+as before.
 
-``stats`` counts ``alphabet_builds`` (level-1 predicate/mask generation)
-and ``tidlist_builds`` (miner-side sort + bit-pack), so the audit
-benchmark can assert a whole multi-query audit built each exactly once.
+Under a :class:`repro.datasets.DataEdit` the cache is *patched*, not
+rebuilt: every predicate's mask keeps its bits for surviving rows, gains
+fresh bits only for added rows, and the support filter re-runs over the
+patched masks.  The pattern *language* is frozen: predicates — including
+the quantile bin edges baked into numeric thresholds — are part of the
+cached artifact and are deliberately not re-derived from the edited
+table.  Re-deriving them would shift every data-dependent threshold by a
+hair on each small edit (``amount >= 2692`` becoming ``amount >= 2680``
+after dropping seven rows), making before/after explanations
+incomparable and incremental re-certification impossible; a stable
+language is what lets :meth:`repro.core.AuditSession.delta_audit` report
+per-rank diffs that mean something.  A relabel-only edit leaves the
+table (and therefore every mask) untouched.  Rebuild the session when
+the cumulative edit volume warrants re-binning.
+
+``stats`` counts ``alphabet_builds`` / ``tidlist_builds`` (full builds)
+and ``alphabet_patches`` / ``tidlist_patches`` (edit-time patches), so the
+audit and delta-audit benchmarks can assert a whole multi-query audit
+built each exactly once — and that re-audits after an edit built nothing.
 """
 
 from __future__ import annotations
@@ -30,7 +49,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mining.bitset import pack_rows
-from repro.patterns.candidates import generate_single_predicates
+from repro.patterns.candidates import iter_predicate_specs, normalize_exclude_features
 from repro.patterns.predicate import Predicate
 from repro.tabular import Table
 
@@ -44,6 +63,11 @@ class PredicateAlphabet:
     the pre-filter count the lattice reports as level-1 merges tried.
     Masks are shared read-only across queries — consumers combine them
     with fresh ANDs and never mutate them in place.
+
+    Every evaluated mask — including below-support ones — is retained in
+    ``_evaluated``: an edit can push a predicate across the support
+    threshold in either direction, so :meth:`apply_edit` must re-filter
+    the *full* spec set, not just the surviving entries.
     """
 
     def __init__(
@@ -51,20 +75,139 @@ class PredicateAlphabet:
         table: Table,
         support_threshold: float,
         num_bins: int,
-        exclude_features: set[str] | None,
+        exclude_features=None,
         stats: dict[str, int] | None = None,
     ) -> None:
-        singles = generate_single_predicates(
-            table, support_threshold, num_bins, exclude_features
-        )
+        self.support_threshold = float(support_threshold)
+        self.num_bins = int(num_bins)
+        self.exclude_features = normalize_exclude_features(exclude_features)
+        self._stats = stats if stats is not None else {}
+        self._stats.setdefault("tidlist_builds", 0)
+        self._stats.setdefault("tidlist_patches", 0)
+        self._evaluated: dict[Predicate, np.ndarray] = {}
+        self._build(table)
+        self._miner_items: tuple[list[Predicate], np.ndarray] | None = None
+        self._skeleton: tuple[np.ndarray, np.ndarray, list] | None = None
+
+    def _build(self, table: Table) -> None:
+        """Evaluate every spec of ``table`` in canonical order — the full build."""
+        evaluated: dict[Predicate, np.ndarray] = {}
+        for predicate in iter_predicate_specs(table, self.num_bins, self.exclude_features):
+            if predicate not in evaluated:
+                evaluated[predicate] = predicate.mask(table)
+        self._evaluated = evaluated
+        self.num_rows = table.num_rows
+        self._filter_entries()
+
+    def _filter_entries(self) -> None:
+        """Re-run the support filter over ``_evaluated`` (canonical order)."""
+        n = self.num_rows
+        singles = [
+            (predicate, mask)
+            for predicate, mask in self._evaluated.items()
+            if mask.sum() / n > self.support_threshold
+        ]
         self.num_generated = len(singles)
         self.entries: list[tuple[Predicate, np.ndarray]] = [
             (predicate, mask) for predicate, mask in singles if not mask.all()
         ]
-        self.num_rows = table.num_rows
-        self._stats = stats if stats is not None else {"tidlist_builds": 0}
-        self._stats.setdefault("tidlist_builds", 0)
-        self._miner_items: tuple[list[Predicate], np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def apply_edit(self, edit, new_table: Table) -> None:
+        """Patch the alphabet for a :class:`repro.datasets.DataEdit`.
+
+        Surviving rows keep their evaluated bits (``mask[keep]``), added
+        rows are evaluated only against the small added sub-table, and the
+        support filter re-runs over the patched masks.  The predicate set
+        itself is frozen — bin edges are *not* re-derived from the edited
+        table (see the module docstring for why), so an edit can move
+        predicates across the support threshold but never mint or retire
+        specs.  Relabel-only edits are a no-op (a predicate mask never
+        depends on labels).  A previously-built miner view is re-packed
+        from the patched masks (``tidlist_patches``), never re-derived
+        from scratch.
+        """
+        if new_table.num_rows != self.num_rows - edit.num_removed + edit.num_added:
+            raise ValueError(
+                f"edited table has {new_table.num_rows} rows; expected "
+                f"{self.num_rows - edit.num_removed + edit.num_added} from {edit}"
+            )
+        if not edit.changes_rows:
+            return
+        keep = np.ones(self.num_rows, dtype=bool)
+        if edit.num_removed:
+            keep[list(edit.remove_indices)] = False
+        patched: dict[Predicate, np.ndarray] = {}
+        for predicate, mask in self._evaluated.items():
+            new_mask = mask[keep]
+            if edit.num_added:
+                new_mask = np.concatenate([new_mask, predicate.mask(edit.add_table)])
+            patched[predicate] = new_mask
+        old_entry_predicates = [predicate for predicate, _ in self.entries]
+        self._evaluated = patched
+        self.num_rows = new_table.num_rows
+        self._filter_entries()
+        if old_entry_predicates != [predicate for predicate, _ in self.entries]:
+            # The support filter moved an entry in or out: the level-2
+            # merge skeleton no longer describes the entry list.
+            self._skeleton = None
+        if self._miner_items is not None:
+            self._miner_items = self._pack_items()
+            self._stats["tidlist_patches"] += 1
+
+    # ------------------------------------------------------------------
+    def _pack_items(self) -> tuple[list[Predicate], np.ndarray]:
+        ordered = sorted(
+            self.entries, key=lambda pair: (int(pair[1].sum()), pair[0].sort_key())
+        )
+        predicates = [predicate for predicate, _ in ordered]
+        if ordered:
+            tids = pack_rows(np.stack([mask for _, mask in ordered]))
+        else:
+            tids = np.zeros((0, (self.num_rows + 7) // 8), dtype=np.uint8)
+        return predicates, tids
+
+    def pair_skeleton(self) -> tuple[np.ndarray, np.ndarray, list]:
+        """The structural level-2 merge skeleton over the current entries.
+
+        Returns ``(left, right, patterns)``: for every entry index pair
+        ``i < j`` (in the lattice's enumeration order) whose merge is a
+        genuine two-predicate, satisfiable, not-yet-seen pattern, the
+        parallel index arrays and the merged :class:`Pattern` objects.
+        The skeleton depends only on the entry *predicates* — never on
+        masks or data — so it survives edits as long as the entry list
+        does; :meth:`apply_edit` invalidates it when the support filter
+        changes the entries.  Built lazily and cached: the incremental
+        delta-audit path replays one search's worth of structural work
+        here once, then reuses it across every (metric, estimator) query
+        and every subsequent edit.
+        """
+        if self._skeleton is None:
+            from repro.patterns.pattern import Pattern
+
+            predicates = [predicate for predicate, _ in self.entries]
+            left: list[int] = []
+            right: list[int] = []
+            patterns: list = []
+            seen = set()
+            singles = [Pattern([predicate]) for predicate in predicates]
+            for i in range(len(singles)):
+                for j in range(i + 1, len(singles)):
+                    merged = singles[i].merge(singles[j])
+                    if len(merged) != 2 or merged in seen:
+                        continue
+                    seen.add(merged)
+                    if not merged.is_satisfiable():
+                        continue
+                    left.append(i)
+                    right.append(j)
+                    patterns.append(merged)
+            self._skeleton = (
+                np.array(left, dtype=np.int64),
+                np.array(right, dtype=np.int64),
+                patterns,
+            )
+        return self._skeleton
 
     def miner_items(self) -> tuple[list[Predicate], np.ndarray]:
         """The miner's view: frequency-ascending predicates + packed tids.
@@ -76,15 +219,7 @@ class PredicateAlphabet:
         the order must be frequency-ascending with sort-key tie-breaks.
         """
         if self._miner_items is None:
-            ordered = sorted(
-                self.entries, key=lambda pair: (int(pair[1].sum()), pair[0].sort_key())
-            )
-            predicates = [predicate for predicate, _ in ordered]
-            if ordered:
-                tids = pack_rows(np.stack([mask for _, mask in ordered]))
-            else:
-                tids = np.zeros((0, (self.num_rows + 7) // 8), dtype=np.uint8)
-            self._miner_items = (predicates, tids)
+            self._miner_items = self._pack_items()
             self._stats["tidlist_builds"] += 1
         return self._miner_items
 
@@ -94,32 +229,56 @@ class AlphabetCache:
 
     The cache is bound to a table *instance*: engines handed a cache for a
     different table refuse it rather than silently serving masks for the
-    wrong rows.
+    wrong rows.  :meth:`apply_edit` rebinds the cache to the edited table
+    after patching every cached alphabet in place.
     """
 
     def __init__(self, table: Table) -> None:
         self.table = table
         self._alphabets: dict[tuple, PredicateAlphabet] = {}
-        self.stats = {"alphabet_builds": 0, "tidlist_builds": 0}
+        self.stats = {
+            "alphabet_builds": 0,
+            "tidlist_builds": 0,
+            "alphabet_patches": 0,
+            "tidlist_patches": 0,
+        }
 
     def get(
         self,
         support_threshold: float,
         num_bins: int = 4,
-        exclude_features: set[str] | None = None,
+        exclude_features=None,
     ) -> PredicateAlphabet:
-        """The (cached) alphabet for one parameter combination."""
-        key = (
-            float(support_threshold),
-            int(num_bins),
-            frozenset(exclude_features or ()),
-        )
+        """The (cached) alphabet for one parameter combination.
+
+        ``exclude_features`` is normalized before keying: ``["a", "b"]``,
+        ``("b", "a")``, ``{"a", "b"}``, and repeated calls with any of them
+        all resolve to one entry (and a single name is treated as one
+        column, not a character set).
+        """
+        exclude = normalize_exclude_features(exclude_features)
+        key = (float(support_threshold), int(num_bins), exclude)
         if key not in self._alphabets:
             self._alphabets[key] = PredicateAlphabet(
-                self.table, support_threshold, num_bins, exclude_features, self.stats
+                self.table, support_threshold, num_bins, exclude, self.stats
             )
             self.stats["alphabet_builds"] += 1
         return self._alphabets[key]
+
+    def apply_edit(self, edit, new_table: Table) -> None:
+        """Patch every cached alphabet for ``edit`` and rebind to ``new_table``.
+
+        Row-changing edits patch each alphabet (counted under
+        ``alphabet_patches``); relabel-only edits leave masks untouched.
+        ``new_table`` must be the edited table the session now serves —
+        for relabel-only edits that is the *same* table instance, so
+        :meth:`check_table`'s identity check keeps passing.
+        """
+        if edit.changes_rows:
+            for alphabet in self._alphabets.values():
+                alphabet.apply_edit(edit, new_table)
+                self.stats["alphabet_patches"] += 1
+        self.table = new_table
 
     def check_table(self, table: Table) -> None:
         """Raise unless ``table`` is the table this cache was built on."""
@@ -135,7 +294,7 @@ def resolve_alphabet(
     alphabet_cache: AlphabetCache | None,
     support_threshold: float,
     num_bins: int,
-    exclude_features: set[str] | None,
+    exclude_features,
 ) -> PredicateAlphabet:
     """One alphabet for a search: from the cache if given, else throwaway."""
     if alphabet_cache is None:

@@ -81,15 +81,20 @@ def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def popcount(packed: np.ndarray) -> np.ndarray | int:
     """Number of set bits per packed row (scalar for a single row).
 
-    For a ``(w,)`` row returns an int; for an ``(m, w)`` matrix returns an
-    ``(m,)`` int64 array.
+    For a ``(w,)`` row (or a 0-d single byte) returns an int; for an
+    ``(m, w)`` matrix returns an ``(m,)`` int64 array — including the
+    degenerate ``(m, 0)`` width, which counts as zero bits per row.  The
+    native ``np.bitwise_count`` path and the byte-LUT fallback agree on
+    dtype and shape for every input; the CI matrix runs both.
     """
     packed = np.asarray(packed, dtype=np.uint8)
     if _HAVE_BITWISE_COUNT:
         counts = np.bitwise_count(packed).astype(np.int64)
     else:
         counts = _POPCOUNT_LUT[packed]
-    summed = counts.sum(axis=-1)
+    if packed.ndim == 0:
+        return int(counts)
+    summed = counts.sum(axis=-1, dtype=np.int64)
     return int(summed) if packed.ndim == 1 else summed
 
 

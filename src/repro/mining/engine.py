@@ -29,6 +29,7 @@ from repro.influence.estimators import InfluenceEstimator
 from repro.mining.alphabet import AlphabetCache, resolve_alphabet
 from repro.patterns.lattice import (
     LatticeLevelStats,
+    LatticeRecord,
     LatticeResult,
     PatternStats,
     compute_candidates,
@@ -51,6 +52,7 @@ class CandidateResult:
     levels: list[LatticeLevelStats]
     engine: str
     num_evaluated: int
+    record: LatticeRecord | None = None
 
     @property
     def num_candidates(self) -> int:
@@ -131,6 +133,7 @@ class LatticeEngine:
             levels=lattice.levels,
             engine=self.name,
             num_evaluated=lattice.num_evaluated,
+            record=lattice.record,
         )
 
 
@@ -210,4 +213,5 @@ def as_candidate_result(result: CandidateResult | LatticeResult) -> CandidateRes
         levels=result.levels,
         engine="lattice",
         num_evaluated=result.num_evaluated,
+        record=result.record,
     )

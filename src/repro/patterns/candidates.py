@@ -5,9 +5,17 @@ Numeric features are binned first (paper §4.2: "for features with a large
 number of possible values, we can apply binning") and yield a ``>=`` / ``<``
 pair per threshold; numeric features with few distinct values additionally
 yield equality predicates (e.g. ``installment_rate = 4`` in German Credit).
+
+The *spec* enumeration (which predicates exist, in which canonical order) is
+split out as :func:`iter_predicate_specs` from the mask evaluation + support
+filter of :func:`generate_single_predicates`, so the alphabet cache can
+re-enumerate specs over an edited table and patch masks per predicate while
+reproducing the fresh build byte for byte — including its ordering.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -19,11 +27,69 @@ from repro.tabular import CategoricalColumn, NumericColumn, Table
 _EQUALITY_CARDINALITY = 12
 
 
+def normalize_exclude_features(
+    exclude_features: Iterable[str] | str | None,
+) -> frozenset[str]:
+    """Normalize an exclude-features argument to a frozenset of names.
+
+    Accepts ``None``, any iterable of column names, or a single name.  The
+    single-string case is handled explicitly: iterating ``"age"`` into the
+    character set ``{'a', 'g', 'e'}`` would silently exclude nothing (or,
+    worse, substring-match single-letter columns), which is exactly the kind
+    of cache-key/behaviour mismatch the alphabet cache must not build on.
+    """
+    if exclude_features is None:
+        return frozenset()
+    if isinstance(exclude_features, str):
+        return frozenset((exclude_features,))
+    return frozenset(exclude_features)
+
+
+def iter_predicate_specs(
+    table: Table,
+    num_bins: int = 4,
+    exclude_features: Iterable[str] | str | None = None,
+) -> Iterator[Predicate]:
+    """Yield every level-1 predicate of ``table`` in canonical order.
+
+    The order is deterministic given the table: columns in schema order;
+    per categorical column one ``=`` per distinct value; per numeric column
+    the ``=`` predicates of low-cardinality columns followed by the
+    ``>=``/``<`` pair per quantile threshold (integer-rounded thresholds for
+    integer-valued columns).  No masks are evaluated and no support filter
+    is applied — this is the *spec* half of level-1 generation, shared by
+    the fresh build and the edit-patch path of the alphabet cache.
+    """
+    exclude = normalize_exclude_features(exclude_features)
+    for name in table.column_names:
+        if name in exclude:
+            continue
+        column = table.column(name)
+        if isinstance(column, CategoricalColumn):
+            for value in column.distinct():
+                yield Predicate(name, "=", value)
+            continue
+        assert isinstance(column, NumericColumn)
+        values = column.values
+        distinct = np.unique(values)
+        if len(distinct) <= _EQUALITY_CARDINALITY:
+            for value in distinct:
+                yield Predicate(name, "=", float(value))
+        thresholds = quantile_thresholds(values, num_bins)
+        if np.all(values == np.round(values)):
+            # Integer-valued columns get integer thresholds ("age >= 45"
+            # rather than "age >= 45.25") for readable explanations.
+            thresholds = sorted({float(round(t)) for t in thresholds})
+        for threshold in thresholds:
+            for op in (">=", "<"):
+                yield Predicate(name, op, float(threshold))
+
+
 def generate_single_predicates(
     table: Table,
     support_threshold: float,
     num_bins: int = 4,
-    exclude_features: set[str] | None = None,
+    exclude_features: Iterable[str] | str | None = None,
 ) -> list[tuple[Predicate, np.ndarray]]:
     """Return (predicate, mask) pairs whose support *strictly* exceeds τ.
 
@@ -38,38 +104,10 @@ def generate_single_predicates(
     """
     if not 0.0 <= support_threshold < 1.0:
         raise ValueError(f"support_threshold must be in [0, 1), got {support_threshold}")
-    exclude = exclude_features or set()
     n = table.num_rows
     out: list[tuple[Predicate, np.ndarray]] = []
-    for name in table.column_names:
-        if name in exclude:
-            continue
-        column = table.column(name)
-        if isinstance(column, CategoricalColumn):
-            for value in column.distinct():
-                predicate = Predicate(name, "=", value)
-                mask = predicate.mask(table)
-                if mask.sum() / n > support_threshold:
-                    out.append((predicate, mask))
-        else:
-            assert isinstance(column, NumericColumn)
-            values = column.values
-            distinct = np.unique(values)
-            if len(distinct) <= _EQUALITY_CARDINALITY:
-                for value in distinct:
-                    predicate = Predicate(name, "=", float(value))
-                    mask = predicate.mask(table)
-                    if mask.sum() / n > support_threshold:
-                        out.append((predicate, mask))
-            thresholds = quantile_thresholds(values, num_bins)
-            if np.all(values == np.round(values)):
-                # Integer-valued columns get integer thresholds ("age >= 45"
-                # rather than "age >= 45.25") for readable explanations.
-                thresholds = sorted({float(round(t)) for t in thresholds})
-            for threshold in thresholds:
-                for op in (">=", "<"):
-                    predicate = Predicate(name, op, float(threshold))
-                    mask = predicate.mask(table)
-                    if mask.sum() / n > support_threshold:
-                        out.append((predicate, mask))
+    for predicate in iter_predicate_specs(table, num_bins, exclude_features):
+        mask = predicate.mask(table)
+        if mask.sum() / n > support_threshold:
+            out.append((predicate, mask))
     return out

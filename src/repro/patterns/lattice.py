@@ -85,6 +85,41 @@ class LatticeLevelStats:
 
 
 @dataclass
+class LatticeRecord:
+    """Replay state of a depth-≤2 search, for incremental re-audits.
+
+    When the search runs over a shared alphabet with ``max_predicates <= 2``
+    its candidate space is a pure function of the level-1 entry list: the
+    level-2 pair enumeration, dedup, and satisfiability checks never look at
+    the data, only the support filter and the scores do.  Recording, per
+    evaluated level-2 merge, the entry indices of its parents plus its
+    extent size, score, and filter outcome therefore captures everything an
+    incremental re-certification (:meth:`repro.core.AuditSession.delta_audit`)
+    needs to replay the search against patched masks without re-running the
+    merge loop.  All ``pair_*`` arrays are parallel, in the search's
+    deterministic enumeration order.
+
+    ``pair_known`` mirrors the parent-reuse short-circuit (0 = evaluated,
+    1/2 = extent collapsed onto the left/right parent, whose evaluation was
+    reused verbatim); ``pair_in_result`` marks merges that survived the
+    responsibility bar and the minimum-responsibility filter into
+    ``candidates``.  Searches deeper than two levels do not record — their
+    level-3+ frontier depends on scores and cannot be replayed structurally.
+    """
+
+    num_entries: int
+    level1_responsibilities: np.ndarray
+    level1_bias_changes: np.ndarray
+    pair_left: np.ndarray
+    pair_right: np.ndarray
+    pair_sizes: np.ndarray
+    pair_known: np.ndarray
+    pair_responsibilities: np.ndarray
+    pair_bias_changes: np.ndarray
+    pair_in_result: np.ndarray
+
+
+@dataclass
 class LatticeResult:
     """Everything Algorithm 1 returns: candidates plus per-level stats.
 
@@ -98,6 +133,7 @@ class LatticeResult:
     candidates: list[PatternStats]
     levels: list[LatticeLevelStats]
     num_evaluated: int = 0
+    record: LatticeRecord | None = None
 
     @property
     def num_candidates(self) -> int:
@@ -209,6 +245,12 @@ def compute_candidates(
         LatticeLevelStats(1, len(current), num_singles, time.perf_counter() - start)
     )
 
+    # Depth-2 searches are structurally replayable under data edits; record
+    # the per-merge state the incremental re-audit needs (see LatticeRecord).
+    recording = max_predicates <= 2
+    responsibilities_level1, bias_changes_level1 = responsibilities, bias_changes
+    rec_pairs: list[tuple[int, int, int, int, float, float, bool]] = []
+
     # --- levels 2..max ----------------------------------------------------
     level = 2
     while current and level <= max_predicates:
@@ -223,7 +265,7 @@ def compute_candidates(
         # reproduce it up to floating-point noise, and the strict pruning
         # comparison must not hinge on that noise.
         merged_survivors: list[
-            tuple[Pattern, np.ndarray, int, float, tuple[float, float] | None]
+            tuple[Pattern, np.ndarray, int, float, tuple[float, float] | None, int, int, int]
         ] = []
         for i_a, i_b in _mergeable_pairs(current):
             pattern_a, mask_a, size_a, resp_a, dbias_a = current[i_a]
@@ -241,30 +283,44 @@ def compute_candidates(
             if support <= support_threshold:
                 continue
             if size == size_a:  # mask ⊆ mask_a, so equal sizes ⇒ equal sets
-                known = (resp_a, dbias_a)
+                known, known_code = (resp_a, dbias_a), 1
             elif size == size_b:
-                known = (resp_b, dbias_b)
+                known, known_code = (resp_b, dbias_b), 2
             else:
-                known = None
+                known, known_code = None, 0
             merged_survivors.append(
-                (merged, mask, size, _parent_bar(resp_a, resp_b, max_responsibility), known)
+                (
+                    merged,
+                    mask,
+                    size,
+                    _parent_bar(resp_a, resp_b, max_responsibility),
+                    known,
+                    i_a,
+                    i_b,
+                    known_code,
+                )
             )
 
         # Evaluate phase: one batched influence query per chunk.
-        to_evaluate = [mask for _, mask, _, _, known in merged_survivors if known is None]
+        to_evaluate = [row[1] for row in merged_survivors if row[4] is None]
         responsibilities, bias_changes = _evaluate_all(estimator, to_evaluate, batch, batch_size)
         num_evaluated += len(to_evaluate)
 
         # Prune phase: heuristic 2 against the recorded parent bars.
         next_level = []
         evaluated = iter(zip(responsibilities, bias_changes))
-        for merged, mask, size, bar, known in merged_survivors:
+        for merged, mask, size, bar, known, i_a, i_b, known_code in merged_survivors:
             resp, dbias = known if known is not None else next(evaluated)
-            if prune_by_responsibility and resp <= bar:
-                continue
-            next_level.append((merged, mask, size, resp, dbias))
-            if resp >= min_responsibility:
-                all_stats.append(_stats(merged, mask, resp, dbias, num_rows))
+            in_result = False
+            if not (prune_by_responsibility and resp <= bar):
+                next_level.append((merged, mask, size, resp, dbias))
+                if resp >= min_responsibility:
+                    all_stats.append(_stats(merged, mask, resp, dbias, num_rows))
+                    in_result = True
+            if recording and level == 2:
+                rec_pairs.append(
+                    (i_a, i_b, size, known_code, float(resp), float(dbias), in_result)
+                )
 
         levels.append(
             LatticeLevelStats(level, len(next_level), merges_tried, time.perf_counter() - start)
@@ -272,7 +328,23 @@ def compute_candidates(
         current = next_level
         level += 1
 
-    return LatticeResult(candidates=all_stats, levels=levels, num_evaluated=num_evaluated)
+    record = None
+    if recording:
+        record = LatticeRecord(
+            num_entries=len(entries),
+            level1_responsibilities=np.asarray(responsibilities_level1, dtype=np.float64),
+            level1_bias_changes=np.asarray(bias_changes_level1, dtype=np.float64),
+            pair_left=np.array([r[0] for r in rec_pairs], dtype=np.int64),
+            pair_right=np.array([r[1] for r in rec_pairs], dtype=np.int64),
+            pair_sizes=np.array([r[2] for r in rec_pairs], dtype=np.int64),
+            pair_known=np.array([r[3] for r in rec_pairs], dtype=np.int8),
+            pair_responsibilities=np.array([r[4] for r in rec_pairs], dtype=np.float64),
+            pair_bias_changes=np.array([r[5] for r in rec_pairs], dtype=np.float64),
+            pair_in_result=np.array([r[6] for r in rec_pairs], dtype=bool),
+        )
+    return LatticeResult(
+        candidates=all_stats, levels=levels, num_evaluated=num_evaluated, record=record
+    )
 
 
 # ----------------------------------------------------------------------

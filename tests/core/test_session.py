@@ -315,3 +315,30 @@ class TestSessionSurface:
         assert gopher.session is not None
         assert gopher.session.alphabet_cache is not None
         assert gopher.estimator.artifacts is gopher.session.artifacts
+
+
+class TestStatsNamespacing:
+    """session.stats: namespaced influence.*/mining.* keys + flat aliases."""
+
+    def test_every_counter_is_namespaced_with_flat_alias(self, session):
+        session.audit(metrics=["statistical_parity"], k=2)
+        stats = session.stats
+        namespaced = {k for k in stats if "." in k}
+        flat = {k for k in stats if "." not in k}
+        assert namespaced and flat
+        for key in namespaced:
+            _, bare = key.split(".", 1)
+            assert bare in flat
+            assert stats[key] == stats[bare], key
+        # Every flat alias is backed by exactly one namespaced twin — the
+        # two layers never shadow each other under distinct names.
+        for key in flat:
+            twins = [k for k in namespaced if k.endswith("." + key)]
+            assert len(twins) == 1, key
+
+    def test_expected_layers_present(self, session):
+        stats = session.stats
+        assert "influence.hessian_factorizations" in stats
+        assert "mining.alphabet_builds" in stats
+        assert "influence.edits" in stats
+        assert "mining.tidlist_patches" in stats

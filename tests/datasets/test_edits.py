@@ -1,0 +1,152 @@
+"""DataEdit semantics and the degenerate-protected-group guards.
+
+Pins the edit value object (validation, the fixed relabel → remove → add
+application order, factories, ``random_edit``) and — riding the same
+debugging-loop surface — the named errors for a protected group that
+matches no rows (or every row) of a split, raised by
+``Dataset.fairness_context`` and ``AuditSession.context_for`` instead of
+NaNs deep inside the metric pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AuditSession
+from repro.datasets import DataEdit, ProtectedGroup, random_edit
+
+
+class TestDataEditValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DataEdit.remove([3, -1])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DataEdit.remove([2, 2])
+        with pytest.raises(ValueError, match="duplicate"):
+            DataEdit.relabel([5, 5], [0, 1])
+
+    def test_remove_relabel_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both removed and relabelled"):
+            DataEdit(remove_indices=[4, 7], relabel_indices=[7], relabel_labels=[1])
+
+    def test_relabel_misalignment_rejected(self):
+        with pytest.raises(ValueError, match="relabel_labels"):
+            DataEdit.relabel([1, 2, 3], [0, 1])
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DataEdit.relabel([0], [2])
+
+    def test_empty_edit_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DataEdit()
+
+    def test_add_requires_both_halves(self, german_train):
+        with pytest.raises(ValueError, match="together"):
+            DataEdit(add_table=german_train.table.take(np.array([0])))
+
+    def test_add_length_mismatch_rejected(self, german_train):
+        with pytest.raises(ValueError, match="add_labels length"):
+            DataEdit.add(german_train.table.take(np.array([0, 1])), [1])
+
+    def test_describe(self, german_train):
+        edit = DataEdit(
+            remove_indices=[1],
+            relabel_indices=[2, 3],
+            relabel_labels=[0, 1],
+            add_table=german_train.table.take(np.array([0])),
+            add_labels=[1],
+        )
+        assert edit.describe() == "edit(relabel 2, remove 1, add 1)"
+        assert edit.changes_rows and edit.max_index() == 3
+
+
+class TestApplyEditSemantics:
+    def test_relabel_then_remove_then_add_order(self, german_train):
+        """A relabel of a kept row survives; indices are pre-edit throughout."""
+        labels = german_train.labels
+        keep_target = 10
+        edit = DataEdit(
+            remove_indices=[0, 1, 2],
+            relabel_indices=[keep_target],
+            relabel_labels=[1 - labels[keep_target]],
+            add_table=german_train.table.take(np.array([5, 6])),
+            add_labels=labels[[5, 6]],
+        )
+        edited = german_train.apply_edit(edit)
+        assert edited.num_rows == german_train.num_rows - 3 + 2
+        # Row `keep_target` slid up by the 3 removals before it.
+        assert edited.labels[keep_target - 3] == 1 - labels[keep_target]
+        # Removal preserves order; adds land at the end.
+        np.testing.assert_array_equal(edited.labels[-2:], labels[[5, 6]])
+        assert edited.table.num_rows == edited.num_rows
+
+    def test_relabel_only_shares_table_instance(self, german_train):
+        edit = DataEdit.relabel([4], [1 - german_train.labels[4]])
+        edited = german_train.apply_edit(edit)
+        assert edited.table is german_train.table
+        assert not np.array_equal(edited.labels, german_train.labels)
+
+    def test_out_of_range_rejected(self, german_train):
+        with pytest.raises(IndexError, match="row"):
+            german_train.apply_edit(DataEdit.remove([german_train.num_rows]))
+
+
+class TestRandomEdit:
+    @pytest.mark.parametrize("kind", ["remove", "relabel", "add"])
+    def test_kinds_and_determinism(self, german_train, kind):
+        a = random_edit(german_train, kind, count=6, seed=9)
+        b = random_edit(german_train, kind, count=6, seed=9)
+        assert a.describe() == f"edit({kind} 6)"
+        assert (a.remove_indices, a.relabel_indices, a.relabel_labels) == (
+            b.remove_indices,
+            b.relabel_indices,
+            b.relabel_labels,
+        )
+        german_train.apply_edit(a)  # applies cleanly
+
+    def test_add_resamples_existing_rows(self, german_train):
+        edit = random_edit(german_train, "add", count=4, seed=2)
+        # Resampling keeps the feature domain: every added row exists verbatim.
+        edited = german_train.apply_edit(edit)
+        assert edited.num_rows == german_train.num_rows + 4
+
+    def test_bad_arguments(self, german_train):
+        with pytest.raises(ValueError, match="kind"):
+            random_edit(german_train, "shuffle", count=1)
+        with pytest.raises(ValueError, match="count"):
+            random_edit(german_train, "remove", count=0)
+        with pytest.raises(ValueError, match="cannot"):
+            random_edit(german_train, "remove", count=german_train.num_rows)
+
+
+class TestDegenerateProtectedGroups:
+    """Satellite: zero-match (or all-match) groups fail with a named error."""
+
+    NOBODY = ProtectedGroup(attribute="gender", privileged_category="Nonbinary")
+
+    def test_fairness_context_rejects_zero_match(self, german_test, X_test):
+        with pytest.raises(ValueError, match="matches no rows"):
+            german_test.fairness_context(X_test, self.NOBODY)
+
+    def test_fairness_context_rejects_all_match(self, german_test, X_test):
+        everybody = ProtectedGroup(attribute="age", privileged_threshold=-1.0)
+        with pytest.raises(ValueError, match="matches every row"):
+            german_test.fairness_context(X_test, everybody)
+
+    def test_error_names_group_and_split(self, german_test, X_test):
+        with pytest.raises(ValueError) as err:
+            german_test.fairness_context(X_test, self.NOBODY)
+        message = str(err.value)
+        assert "gender" in message and german_test.name in message
+        assert str(german_test.num_rows) in message
+
+    def test_session_context_for_rejects_zero_match(
+        self, lr_model, german_train, german_test
+    ):
+        session = AuditSession(
+            lr_model, max_predicates=2, support_threshold=0.05
+        ).fit(german_train, german_test)
+        with pytest.raises(ValueError, match="matches no rows .* test split"):
+            session.context_for(self.NOBODY)

@@ -78,6 +78,48 @@ class TestPopcount:
         assert isinstance(count, int)
         assert count == int(mask.sum())
 
+    def test_zero_dimensional_byte(self):
+        count = popcount(np.uint8(0b10110001))
+        assert isinstance(count, int) and count == 4
+        assert popcount(np.uint8(0)) == 0
+
+    def test_empty_row(self):
+        count = popcount(np.zeros(0, dtype=np.uint8))
+        assert isinstance(count, int) and count == 0
+
+    def test_zero_width_matrix(self):
+        """(m, 0) tidlists — a zero-row table — count zero bits per row."""
+        counts = popcount(np.zeros((5, 0), dtype=np.uint8))
+        assert counts.shape == (5,) and counts.dtype == np.int64
+        np.testing.assert_array_equal(counts, np.zeros(5, dtype=np.int64))
+
+    @pytest.mark.parametrize(
+        "shape", [(), (0,), (7,), (3, 0), (4, 9)], ids=str
+    )
+    def test_lut_agrees_with_native(self, monkeypatch, shape):
+        """The byte-LUT fallback (NumPy 1.x) matches np.bitwise_count exactly.
+
+        Both paths must agree on values, return type, and dtype for every
+        input shape — the CI matrix runs a real NumPy 1.x leg, but this
+        pins the agreement even when only one line is installed.
+        """
+        import repro.mining.bitset as bitset
+
+        rng = np.random.default_rng(sum(shape) + len(shape))
+        packed = rng.integers(0, 256, size=shape).astype(np.uint8)
+        monkeypatch.setattr(bitset, "_HAVE_BITWISE_COUNT", False)
+        via_lut = popcount(packed)
+        monkeypatch.setattr(bitset, "_HAVE_BITWISE_COUNT", True)
+        if not hasattr(np, "bitwise_count"):
+            pytest.skip("native np.bitwise_count unavailable (NumPy 1.x)")
+        via_native = popcount(packed)
+        assert type(via_lut) is type(via_native)
+        if isinstance(via_lut, np.ndarray):
+            assert via_lut.dtype == via_native.dtype == np.int64
+            np.testing.assert_array_equal(via_lut, via_native)
+        else:
+            assert via_lut == via_native
+
 
 class TestIntersect:
     def test_matches_logical_and(self):

@@ -136,3 +136,39 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "top-2 influence-ranked clusters" in out
+
+
+class TestDeltaAuditFlag:
+    def test_edit_requires_audit(self, capsys):
+        code = main(
+            ["explain", "--dataset", "german", "--rows", "400",
+             "--edit", "remove:5", "--no-verify"]
+        )
+        assert code == 2
+        assert "--audit" in capsys.readouterr().err
+
+    def test_bad_edit_spec_rejected(self, capsys):
+        code = main(
+            ["explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+             "--max-predicates", "2", "--audit", "--no-verify",
+             "--edit", "shuffle:5"]
+        )
+        assert code == 2
+        assert "bad --edit spec" in capsys.readouterr().err
+
+    def test_audit_with_edit_runs(self, capsys):
+        code = main(
+            [
+                "explain", "--dataset", "german", "--rows", "400", "--seed", "11",
+                "--estimator", "first_order", "--max-predicates", "2",
+                "-k", "2", "--no-verify", "--audit",
+                "--edit", "remove:5", "--edit-seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Delta audit after edit(remove 5)" in out
+        assert "influence.edits=1" in out
+        # Build counters unchanged by the edit — the delta pass patched.
+        assert "influence.hessian_factorizations=1" in out
+        assert "mining.alphabet_builds=1" in out
