@@ -84,8 +84,8 @@ def _run(smoke: bool):
     all_features = set(bundle.train.table.column_names)
     rows, speedups = [], {}
     for label, allowed in [("pattern features", None), ("full repair", all_features)]:
-        loop_s, loop = _best_of(lambda: search(batch=False, allowed_features=allowed), repeats)
-        batch_s, batched = _best_of(lambda: search(batch=True, allowed_features=allowed), repeats)
+        loop_s, loop = _best_of(lambda a=allowed: search(batch=False, allowed_features=a), repeats)
+        batch_s, batched = _best_of(lambda a=allowed: search(batch=True, allowed_features=a), repeats)
         _assert_identical(batched, loop)
         speedups[label] = loop_s / batch_s
         rows.append(

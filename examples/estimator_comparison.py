@@ -37,7 +37,7 @@ def main() -> None:
     print(f"original bias = {bundle.original_bias:+.4f}\n")
     print(f"{'subset':<10} {'truth':>9}  " + "  ".join(f"{k:>15}" for k in estimators))
     errors: dict[str, list[float]] = {k: [] for k in estimators}
-    for i, idx in enumerate(coherent_subsets(bundle, 8, seed=2)):
+    for idx in coherent_subsets(bundle, 8, seed=2):
         gt = ground_truth.bias_change(idx)
         cells = []
         for name, est in estimators.items():

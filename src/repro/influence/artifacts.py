@@ -78,6 +78,8 @@ class ModelArtifacts:
             "per_sample_grad_builds": 0,
             "hessian_builds": 0,
             "hessian_factorizations": 0,
+            "rank_one_factor_builds": 0,
+            "learning_rate_builds": 0,
             "exact_rotation_builds": 0,
             "edits": 0,
             "solver_updates": 0,
@@ -159,6 +161,7 @@ class ModelArtifacts:
                 self._factors = self.model.hessian_factors(self.X_train, self.y_train)
             except NotImplementedError:
                 self._factors = None
+            self.stats["rank_one_factor_builds"] += 1
         return self._factors  # type: ignore[return-value]
 
     def exact_rotation(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
@@ -402,4 +405,35 @@ class ModelArtifacts:
             from repro.influence.one_step_gd import auto_learning_rate
 
             self._auto_learning_rate = auto_learning_rate(self.hessian)
+            self.stats["learning_rate_builds"] += 1
         return self._auto_learning_rate
+
+    # ------------------------------------------------------------------
+    def warm(
+        self,
+        damping: float = 0.0,
+        exact: bool = False,
+        learning_rate: bool = False,
+    ) -> "ModelArtifacts":
+        """Eagerly build every cache a read-only serving path would touch.
+
+        After ``warm()`` the query methods (``solver``, ``per_sample_grads``,
+        ``exact_rotation`` for the warmed damping, …) are pure reads: the
+        frozen/concurrent read path never triggers a lazy build.  ``exact``
+        additionally builds the eigendecomposition and rotated curvature
+        caches of the Woodbury-batched exact path (skipped automatically
+        when the model exposes no usable factors); ``learning_rate`` builds
+        the shared one-step η.  Idempotent — every build is counted by its
+        own stats entry exactly once.
+        """
+        _ = self.per_sample_grads
+        _ = self.hessian
+        solver = self.solver(damping)
+        factors = self.hessian_factors()
+        if exact:
+            _ = solver.eigendecomposition()
+            if factors is not None and factors[1].min() >= 0.0:
+                _ = self.exact_rotation(damping)
+        if learning_rate:
+            _ = self.auto_learning_rate()
+        return self

@@ -142,6 +142,20 @@ class InfluenceEstimator(ABC):
             self._grad_f = self.metric.grad_theta(self.model, self.test_ctx)
         return self._grad_f
 
+    def warm(self) -> "InfluenceEstimator":
+        """Eagerly build every cache the query methods would build lazily.
+
+        After ``warm()`` the batch query surface is a pure read of this
+        estimator's state: no ``self`` attribute is assigned on any
+        subsequent query, so one estimator instance can serve concurrent
+        readers (and frozen-array sanitizer runs) without a lazy build
+        racing mid-query.  Subclasses extend this with their own memos.
+        Idempotent and cheap to re-call.
+        """
+        _ = self.grad_f
+        _ = self.per_sample_grads
+        return self
+
     @property
     def per_sample_grads(self) -> np.ndarray:
         """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) (cached).

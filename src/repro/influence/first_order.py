@@ -86,3 +86,8 @@ class FirstOrderInfluence(InfluenceEstimator):
                 self.per_sample_grads @ self._stest
             ) / self.num_train
         return self._point_influences
+
+    def warm(self) -> "FirstOrderInfluence":
+        super().warm()
+        _ = self.point_influences()
+        return self

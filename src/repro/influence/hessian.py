@@ -35,6 +35,7 @@ class HessianSolver:
         self.dim = hessian.shape[0]
         self.hessian = hessian
         self.damping_used = 0.0
+        self.stats = {"eigendecompositions": 0}
         self._factor = self._factorize(hessian, damping)
         self._eig: tuple[np.ndarray, np.ndarray] | None = None
 
@@ -66,6 +67,7 @@ class HessianSolver:
             raise ValueError(f"hessian must be square, got shape {hessian.shape}")
         self.dim = hessian.shape[0]
         self.hessian = hessian
+        self.stats = {"eigendecompositions": 0}
         eigvals = np.asarray(eigvals, dtype=np.float64)
         eigvecs = np.asarray(eigvecs, dtype=np.float64)
         if eigvals.shape != (self.dim,) or eigvecs.shape != (self.dim, self.dim):
@@ -173,6 +175,7 @@ class HessianSolver:
             if self.damping_used:
                 matrix = matrix + self.damping_used * np.eye(self.dim)
             self._eig = linalg.eigh(matrix, check_finite=False)
+            self.stats["eigendecompositions"] += 1
         return self._eig
 
     def shifted_solve_many(self, B: np.ndarray, shifts: np.ndarray) -> np.ndarray:
@@ -254,6 +257,17 @@ class HessianSolver:
         if self.damping_used:
             out = out + self.damping_used * x
         return out
+
+
+def largest_eigenvalue(hessian: np.ndarray) -> float:
+    """λ_max of a symmetric matrix — the one place this spectral query lives.
+
+    Curvature probes elsewhere in the tree (the one-step learning-rate rule,
+    step-size diagnostics) route through this helper so every spectral
+    factorization of Hessian-shaped state stays inside this module.
+    """
+    hessian = np.asarray(hessian, dtype=np.float64)
+    return float(np.linalg.eigvalsh(hessian).max())
 
 
 def conjugate_gradient_solve(

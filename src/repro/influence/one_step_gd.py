@@ -24,6 +24,7 @@ import numpy as np
 from repro.fairness.metrics import FairnessContext, FairnessMetric
 from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
+from repro.influence.hessian import largest_eigenvalue
 from repro.models.base import TwiceDifferentiableClassifier
 
 
@@ -35,8 +36,7 @@ def auto_learning_rate(hessian: np.ndarray) -> float:
     this way; routing every caller through this helper is what guarantees
     the two surrogates can never disagree on η for the same Hessian.
     """
-    hessian = np.asarray(hessian, dtype=np.float64)
-    lam_max = float(np.linalg.eigvalsh(hessian).max())
+    lam_max = largest_eigenvalue(hessian)
     if lam_max <= 0:
         raise ValueError("hessian must have a positive top eigenvalue")
     return 1.0 / lam_max

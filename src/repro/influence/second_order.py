@@ -110,6 +110,14 @@ class SecondOrderInfluence(InfluenceEstimator):
             "fallback_factors": 0,
         }
 
+    def warm(self) -> "SecondOrderInfluence":
+        super().warm()
+        factors = self._hessian_factors()
+        if self.variant == "exact" and factors is not None and factors[1].min() >= 0.0:
+            _ = self.solver.eigendecomposition()
+            _ = self.artifacts.exact_rotation(self.damping)
+        return self
+
     def param_change(self, indices: np.ndarray) -> np.ndarray:
         indices = self._subset_size_ok(indices)
         if indices.size == 0:
@@ -151,6 +159,8 @@ class SecondOrderInfluence(InfluenceEstimator):
             if factors is None or factors[1].min() < 0.0:
                 # No rank-one structure (or weights that cannot be √-split
                 # into a symmetric downdate): every subset refactorizes.
+                # reprolint: ignore[RL001] -- diagnostic routing counter, not a cache:
+                # a benign-under-the-GIL increment that never feeds a result
                 self.exact_batch_stats["fallback_factors"] += num_subsets
                 return super()._param_change_from_masks(masks)
             return self._exact_param_change_from_masks(masks, factors)

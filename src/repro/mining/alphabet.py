@@ -84,6 +84,7 @@ class PredicateAlphabet:
         self._stats = stats if stats is not None else {}
         self._stats.setdefault("tidlist_builds", 0)
         self._stats.setdefault("tidlist_patches", 0)
+        self._stats.setdefault("skeleton_builds", 0)
         self._evaluated: dict[Predicate, np.ndarray] = {}
         self._build(table)
         self._miner_items: tuple[list[Predicate], np.ndarray] | None = None
@@ -207,6 +208,7 @@ class PredicateAlphabet:
                 np.array(right, dtype=np.int64),
                 patterns,
             )
+            self._stats["skeleton_builds"] += 1
         return self._skeleton
 
     def miner_items(self) -> tuple[list[Predicate], np.ndarray]:
@@ -222,6 +224,20 @@ class PredicateAlphabet:
             self._miner_items = self._pack_items()
             self._stats["tidlist_builds"] += 1
         return self._miner_items
+
+    def warm(self, miner: bool = True, skeleton: bool = False) -> "PredicateAlphabet":
+        """Eagerly build the lazy views so shared reads never trigger a build.
+
+        ``miner`` packs the tidlist matrix (what the bitset engine reads);
+        ``skeleton`` additionally enumerates the level-2 merge skeleton the
+        incremental delta path replays.  Idempotent — each build is counted
+        by its own stats entry exactly once.
+        """
+        if miner:
+            _ = self.miner_items()
+        if skeleton:
+            _ = self.pair_skeleton()
+        return self
 
 
 class AlphabetCache:
@@ -239,6 +255,7 @@ class AlphabetCache:
         self.stats = {
             "alphabet_builds": 0,
             "tidlist_builds": 0,
+            "skeleton_builds": 0,
             "alphabet_patches": 0,
             "tidlist_patches": 0,
         }

@@ -1,5 +1,6 @@
-"""Shared utilities: seeded randomness, timing, and argument validation."""
+"""Shared utilities: seeded randomness, timing, validation, write-sanitizing."""
 
+from repro.utils.freeze import Freezer, freeze_session, install_session_sanitizer
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.timing import Timer, timed
 from repro.utils.validation import (
@@ -10,12 +11,15 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "Freezer",
     "Timer",
     "check_1d",
     "check_2d",
     "check_binary_labels",
     "check_same_length",
     "ensure_rng",
+    "freeze_session",
+    "install_session_sanitizer",
     "spawn_rngs",
     "timed",
 ]

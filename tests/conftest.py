@@ -6,6 +6,8 @@ would dominate test time; all fixtures are treated as read-only by tests.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,15 @@ from repro.datasets import TabularEncoder, load_german, train_test_split
 from repro.fairness import FairnessContext, get_metric
 from repro.influence import make_estimator
 from repro.models import LogisticRegression
+
+# REPRO_SANITIZE=1 runs the whole suite against write-sanitized sessions:
+# every fitted AuditSession is warmed and its shared arrays frozen, so an
+# in-place mutation anywhere on the read path fails the offending test
+# with "assignment destination is read-only" at the write site.
+if os.environ.get("REPRO_SANITIZE") == "1":
+    from repro.utils.freeze import install_session_sanitizer
+
+    install_session_sanitizer()
 
 
 @pytest.fixture(scope="session")

@@ -58,8 +58,8 @@ class TestPatchedCachesMatchRebuild:
 
         # Build every cache *before* the edit so each is patched, not lazily
         # rebuilt against the edited data.
-        artifacts.per_sample_grads
-        artifacts.hessian
+        _ = artifacts.per_sample_grads
+        _ = artifacts.hessian
         solver = artifacts.solver(DAMPING)
         artifacts.exact_rotation(DAMPING)
         artifacts.apply_edit(
@@ -99,8 +99,8 @@ class TestPatchedCachesMatchRebuild:
         np.testing.assert_allclose(rg @ rc.T, rg_f @ rc_f.T, atol=1e-7)
 
     def test_counters_prove_no_refactorization(self, artifacts, X_train):
-        artifacts.per_sample_grads
-        artifacts.hessian
+        _ = artifacts.per_sample_grads
+        _ = artifacts.hessian
         artifacts.solver(DAMPING)
         before = dict(artifacts.stats)
         assert before["hessian_factorizations"] == 1
@@ -129,8 +129,8 @@ class TestEstimatorResultsAfterEdit:
     def test_fresh_estimator_on_patched_artifacts_matches_rebuild(
         self, artifacts, lr_model, X_train, german_train, sp_metric, test_ctx, name
     ):
-        artifacts.per_sample_grads
-        artifacts.hessian
+        _ = artifacts.per_sample_grads
+        _ = artifacts.hessian
         artifacts.solver(DAMPING)
         remove = [5, 17, 200, 433]
         artifacts.apply_edit(remove_indices=remove)

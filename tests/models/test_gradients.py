@@ -175,7 +175,9 @@ class TestGradProba:
         model = models[idx]
         analytic = model.grad_proba(X[:5])
         for i in range(5):
-            numeric = fd_grad(lambda t: float(model.predict_proba(X[i : i + 1], t)[0]), model.theta)
+            numeric = fd_grad(
+                lambda t, i=i: float(model.predict_proba(X[i : i + 1], t)[0]), model.theta
+            )
             np.testing.assert_allclose(analytic[i], numeric, atol=1e-5, rtol=1e-4)
 
 

@@ -124,7 +124,7 @@ class TestUpdateOptions:
             pattern, indices, num_steps=5,
         )
         with pytest.raises(ValueError, match="removal_bias_change"):
-            update.direction_vs_removal
+            _ = update.direction_vs_removal
 
 
 class TestSignConventions:

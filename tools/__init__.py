@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repository (no install required).
+
+Import as ``tools.<name>`` from the repository root; ``python -m
+tools.reprolint src`` is the supported entry point for the shared-state
+contract analyzer.
+"""

@@ -1,0 +1,18 @@
+"""reprolint — the repo's shared-state / cache-contract static analyzer.
+
+Run as ``python -m tools.reprolint src``.  See ``tools/reprolint/README.md``
+for the rule catalog and pragma syntax.
+"""
+
+from tools.reprolint.contracts import REPRO_CONTRACTS, BuildContract, ContractSet
+from tools.reprolint.engine import Finding, Rule, all_rules, run_analysis
+
+__all__ = [
+    "BuildContract",
+    "ContractSet",
+    "Finding",
+    "REPRO_CONTRACTS",
+    "Rule",
+    "all_rules",
+    "run_analysis",
+]

@@ -1,0 +1,55 @@
+"""CLI: ``python -m tools.reprolint [paths...]``.
+
+Exit status 0 when the tree is clean (every remaining suppression is a
+justified pragma), 1 when findings survive, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint.engine import all_rules, run_analysis
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based shared-state/cache-contract analyzer for this repository",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    root = Path.cwd()
+    findings = run_analysis(paths, root=root)
+    for finding in findings:
+        print(finding.render(root=root))
+    if findings:
+        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print("reprolint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Rule driver: parse once, run every rule, apply pragma suppression.
+
+``run_analysis`` is the programmatic entry point (the CLI and the fixture
+tests both go through it); it returns the surviving findings sorted by
+location.  Pragma handling is strict in both directions: a malformed or
+reason-less pragma is itself a finding (``RL000``), and so is a pragma
+that suppressed nothing — dead suppressions never accumulate silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from tools.reprolint.contracts import REPRO_CONTRACTS, ContractSet
+from tools.reprolint.model import Project, collect_python_files
+from tools.reprolint.pragmas import PragmaIndex
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: Path
+    line: int
+    message: str
+
+    def render(self, root: Path | None = None) -> str:
+        path = self.path
+        if root is not None and path.is_relative_to(root):
+            path = path.relative_to(root)
+        return f"{path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One pluggable check: parse-level state in, findings out."""
+
+    id: str
+    name: str
+    description: str
+    check: Callable[[Project, ContractSet], list[Finding]]
+
+
+def all_rules() -> list[Rule]:
+    from tools.reprolint.rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def run_analysis(
+    paths: list[Path],
+    contracts: ContractSet | None = None,
+    rules: list[Rule] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run every rule over the python files under ``paths``.
+
+    Returns findings that survived pragma suppression, plus RL000 findings
+    for pragma problems, sorted by (path, line, rule).
+    """
+    contracts = contracts if contracts is not None else REPRO_CONTRACTS
+    rules = rules if rules is not None else all_rules()
+    files = collect_python_files(paths)
+    project = Project(files, root=root)
+    pragmas = PragmaIndex()
+    for module in project.modules.values():
+        pragmas.add_file(module.path, module.source)
+
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(project, contracts))
+
+    kept = [f for f in raw if not pragmas.suppressed(f.path, f.line, f.rule)]
+    for error in pragmas.errors:
+        kept.append(Finding("RL000", error.path, error.line, error.message))
+    for pragma in pragmas.unused():
+        kept.append(
+            Finding(
+                "RL000",
+                pragma.path,
+                pragma.line,
+                f"unused pragma: no {'/'.join(pragma.rules)} finding here to suppress",
+            )
+        )
+    kept.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    return kept

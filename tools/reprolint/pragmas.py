@@ -1,0 +1,124 @@
+"""Suppression pragmas: ``# reprolint: ignore[RL001] -- reason``.
+
+A pragma suppresses matching findings on its own line, or — when it is
+the only thing on its line — on the next code line below it.  Every
+pragma must carry a ``-- reason`` justification; malformed pragmas and
+pragmas that suppressed nothing are themselves findings (``RL000``), so
+dead suppressions can't silently accumulate.
+
+``file-ignore`` variants suppress a rule for the whole file (used for
+fixture modules that exist to be broken).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>ignore|file-ignore)"
+    r"\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*))?"
+)
+_RULE_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass
+class Pragma:
+    path: Path
+    line: int
+    kind: str  # "ignore" | "file-ignore"
+    rules: tuple[str, ...]
+    reason: str
+    #: line numbers this pragma covers ("ignore" only)
+    covers: tuple[int, ...] = ()
+    used: bool = field(default=False, compare=False)
+
+
+@dataclass
+class PragmaError:
+    path: Path
+    line: int
+    message: str
+
+
+def _next_code_line(lines: list[str], idx: int) -> int | None:
+    """1-based number of the first non-blank, non-comment line after ``idx``."""
+    for j in range(idx + 1, len(lines)):
+        stripped = lines[j].strip()
+        if stripped and not stripped.startswith("#"):
+            return j + 1
+    return None
+
+
+def parse_pragmas(path: Path, source: str) -> tuple[list[Pragma], list[PragmaError]]:
+    pragmas: list[Pragma] = []
+    errors: list[PragmaError] = []
+    lines = source.splitlines()
+    for idx, text in enumerate(lines):
+        if "reprolint" not in text or "#" not in text:
+            continue
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            if re.search(r"#\s*reprolint\b", text):
+                errors.append(
+                    PragmaError(path, idx + 1, "malformed reprolint pragma (expected 'reprolint: ignore[RLxxx] -- reason')")
+                )
+            continue
+        lineno = idx + 1
+        rules = tuple(r.strip() for r in match.group("rules").split(",") if r.strip())
+        reason = (match.group("reason") or "").strip()
+        if not rules:
+            errors.append(PragmaError(path, lineno, "pragma lists no rules"))
+            continue
+        bad = [r for r in rules if not _RULE_RE.match(r)]
+        if bad:
+            errors.append(PragmaError(path, lineno, f"unknown rule id(s) in pragma: {', '.join(bad)}"))
+            continue
+        if not reason:
+            errors.append(
+                PragmaError(path, lineno, "pragma has no '-- reason' justification")
+            )
+            continue
+        kind = match.group("kind")
+        covers: tuple[int, ...] = ()
+        if kind == "ignore":
+            own_line = text[: match.start()].strip()
+            if own_line:
+                covers = (lineno,)  # trailing comment: covers its own line
+            else:
+                target = _next_code_line(lines, idx)
+                covers = (lineno,) if target is None else (lineno, target)
+        pragmas.append(Pragma(path, lineno, kind, rules, reason, covers))
+    return pragmas, errors
+
+
+class PragmaIndex:
+    """Per-file suppression lookup with use tracking."""
+
+    def __init__(self) -> None:
+        self._by_path: dict[Path, list[Pragma]] = {}
+        self.errors: list[PragmaError] = []
+
+    def add_file(self, path: Path, source: str) -> None:
+        pragmas, errors = parse_pragmas(path, source)
+        self._by_path[path] = pragmas
+        self.errors.extend(errors)
+
+    def suppressed(self, path: Path, line: int, rule: str) -> bool:
+        for pragma in self._by_path.get(path, []):
+            if rule not in pragma.rules:
+                continue
+            if pragma.kind == "file-ignore" or line in pragma.covers:
+                pragma.used = True
+                return True
+        return False
+
+    def unused(self) -> list[Pragma]:
+        return [
+            pragma
+            for pragmas in self._by_path.values()
+            for pragma in pragmas
+            if not pragma.used
+        ]

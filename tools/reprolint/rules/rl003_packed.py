@@ -1,0 +1,123 @@
+"""RL003 — packed-mask contract.
+
+A bit-packed uint8 subset batch is indistinguishable from a small dense
+matrix by dtype alone, so the batch API requires ``num_rows=`` as the
+explicit contract marker (``estimators._check_packed`` enforces it at
+runtime — this rule catches the call sites statically, before a test has
+to trip over silently-wrong subsets).  A batch-query call whose subset
+argument *looks packed* (named ``*packed*``/``*tid*``, built by
+``pack_rows``/``np.packbits``, or a local assigned from such an
+expression) must therefore thread ``num_rows=``.
+
+Sub-check: ``np.unpackbits`` without ``count=`` — the padding bits of the
+last byte would materialize as phantom rows.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.reprolint.contracts import ContractSet
+from tools.reprolint.engine import Finding, Rule
+from tools.reprolint.model import Project
+
+_PACKED_NAME = re.compile(r"(?i)packed|tids?\b|tidlist")
+_PACKERS = frozenset({"pack_rows", "packbits"})
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _looks_packed(node: ast.expr, local_defs: dict[str, ast.expr], depth: int = 0) -> bool:
+    if depth > 4:
+        return False
+    if isinstance(node, ast.Call) and _call_name(node.func) in _PACKERS:
+        return True
+    if isinstance(node, ast.Name):
+        if _PACKED_NAME.search(node.id):
+            return True
+        definition = local_defs.get(node.id)
+        if definition is not None:
+            return _looks_packed(definition, local_defs, depth + 1)
+        return False
+    if isinstance(node, (ast.Attribute, ast.Subscript)):
+        return bool(_PACKED_NAME.search(ast.unparse(node)))
+    return False
+
+
+def _local_defs(scope: ast.AST) -> dict[str, ast.expr]:
+    """name -> value of single-target assignments in a function scope.
+
+    Reassigned names resolve to their *last* definition — an
+    over-approximation either way, biased toward reporting.
+    """
+    defs: dict[str, ast.expr] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                defs[target.id] = node.value
+    return defs
+
+
+def check(project: Project, contracts: ContractSet) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules.values():
+        scopes = [module.tree] + [
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            defs = _local_defs(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node.func)
+                if name == "unpackbits":
+                    if not any(kw.arg == "count" for kw in node.keywords):
+                        findings.append(
+                            Finding(
+                                "RL003",
+                                module.path,
+                                node.lineno,
+                                "np.unpackbits without count=: the last byte's padding "
+                                "bits become phantom rows",
+                            )
+                        )
+                    continue
+                if name not in contracts.packed_batch_methods:
+                    continue
+                if any(kw.arg == "num_rows" for kw in node.keywords):
+                    continue
+                if not node.args:
+                    continue
+                if _looks_packed(node.args[0], defs):
+                    findings.append(
+                        Finding(
+                            "RL003",
+                            module.path,
+                            node.lineno,
+                            f"{name} called with a packed-looking subset batch "
+                            f"({ast.unparse(node.args[0])}) but without num_rows=; "
+                            "packed uint8 batches must thread the row count",
+                        )
+                    )
+    # The per-scope sweep above visits nested calls once per enclosing
+    # scope; dedupe on (path, line, message).
+    unique = {(f.path, f.line, f.message): f for f in findings}
+    return list(unique.values())
+
+
+RULE = Rule(
+    id="RL003",
+    name="packed-mask-contract",
+    description="packed uint8 subset batches must thread num_rows=",
+    check=check,
+)

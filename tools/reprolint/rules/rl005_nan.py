@@ -1,0 +1,145 @@
+"""RL005 — NaN silence in fairness-metric arithmetic.
+
+A fairness metric dividing by a group rate can silently return NaN (or
+raise) exactly when the audit is most interesting — a degenerate group
+after an edit.  Divisions in the metric paths must therefore be *guarded*
+(an epsilon in the denominator, a nonzero constant, a ``max(…, c)``
+clamp, or a preceding raise/return guard on the denominator) or
+*documented* — the enclosing function/class/module docstring spelling out
+the nan contract the way ``fairness/report.py`` does ("reported as nan
+rather than failing").
+
+The guard check follows simple local dataflow: a denominator name (or
+tuple-unpacked name) resolves through single assignments in the enclosing
+function, and ``denom**2`` is guarded when ``denom`` is.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.reprolint.contracts import ContractSet
+from tools.reprolint.engine import Finding, Rule
+from tools.reprolint.model import Project
+
+_NAN_DOC = re.compile(r"(?i)\bnan\b")
+
+
+def _docs_mention_nan(stack: list[ast.AST], module_doc: str | None) -> bool:
+    if module_doc and _NAN_DOC.search(module_doc):
+        return True
+    for node in stack:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            doc = ast.get_docstring(node)
+            if doc and _NAN_DOC.search(doc):
+                return True
+    return False
+
+
+class _Scope:
+    """Local name -> defining expression, tuple unpacking included."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.defs: dict[str, ast.expr] = {}
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                self.defs[target.id] = node.value
+            elif isinstance(target, ast.Tuple) and isinstance(node.value, ast.Tuple):
+                if len(target.elts) == len(node.value.elts):
+                    for t, v in zip(target.elts, node.value.elts):
+                        if isinstance(t, ast.Name):
+                            self.defs[t.id] = v
+
+    def guarded_names(self, fn: ast.AST) -> set[str]:
+        """Names validated by a preceding ``if <name> …: raise/return`` guard."""
+        guarded: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.If):
+                continue
+            has_exit = any(
+                isinstance(stmt, (ast.Raise, ast.Return, ast.Continue)) for stmt in node.body
+            )
+            if not has_exit:
+                continue
+            for name_node in ast.walk(node.test):
+                if isinstance(name_node, ast.Name):
+                    guarded.add(name_node.id)
+        return guarded
+
+
+def _is_guarded(node: ast.expr, scope: _Scope, eps: re.Pattern, checked: set[str], depth: int = 0) -> bool:
+    if depth > 4:
+        return False
+    text = ast.unparse(node)
+    if eps.search(text):
+        return True
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and node.value != 0
+    if isinstance(node, ast.UnaryOp):
+        return _is_guarded(node.operand, scope, eps, checked, depth + 1)
+    if isinstance(node, ast.Name):
+        if node.id in checked:
+            return True
+        definition = scope.defs.get(node.id)
+        if definition is not None:
+            return _is_guarded(definition, scope, eps, checked, depth + 1)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+        return _is_guarded(node.left, scope, eps, checked, depth + 1)
+    if isinstance(node, ast.Call):
+        name = node.func.id if isinstance(node.func, ast.Name) else getattr(node.func, "attr", "")
+        if name in ("max", "maximum", "clip"):
+            return any(
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, (int, float))
+                and arg.value > 0
+                for arg in node.args
+            ) or any(_is_guarded(arg, scope, eps, checked, depth + 1) for arg in node.args)
+    return False
+
+
+def check(project: Project, contracts: ContractSet) -> list[Finding]:
+    eps = re.compile(contracts.eps_pattern)
+    findings: list[Finding] = []
+    for module in project.modules.values():
+        path_str = str(module.path)
+        if not any(fragment in path_str for fragment in contracts.metric_paths):
+            continue
+        module_doc = ast.get_docstring(module.tree)
+
+        def visit(node: ast.AST, stack: list[ast.AST], fn: ast.AST | None) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = node
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                scope = _Scope(fn if fn is not None else module.tree)
+                checked = scope.guarded_names(fn if fn is not None else module.tree)
+                if not _is_guarded(node.right, scope, eps, checked):
+                    if not _docs_mention_nan(stack, module_doc):
+                        findings.append(
+                            Finding(
+                                "RL005",
+                                module.path,
+                                node.lineno,
+                                "unguarded metric division by "
+                                f"{ast.unparse(node.right)}: guard the denominator "
+                                "(epsilon / clamp / explicit raise) or document the "
+                                "nan contract in the docstring",
+                            )
+                        )
+            for child in ast.iter_child_nodes(node):
+                visit(child, stack + [node], fn)
+
+        visit(module.tree, [], None)
+    return findings
+
+
+RULE = Rule(
+    id="RL005",
+    name="nan-silence",
+    description="fairness-metric divisions must be guarded or carry a documented nan contract",
+    check=check,
+)

@@ -1,0 +1,1 @@
+"""Fixture tests for the reprolint analyzer (run under plain pytest)."""

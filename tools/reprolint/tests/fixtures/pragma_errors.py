@@ -1,0 +1,18 @@
+"""Pragma fixture: malformed pragmas are RL000 findings and suppress nothing."""
+
+import numpy as np
+
+
+def no_reason(hessian):
+    # reprolint: ignore[RL004]
+    return np.linalg.cholesky(hessian)
+
+
+def unknown_rule(hessian):
+    # reprolint: ignore[RL9999] -- not a valid rule id
+    return np.linalg.eigh(hessian)
+
+
+def empty_rules(hessian):
+    # reprolint: ignore[] -- lists no rules
+    return np.linalg.eigvalsh(hessian)

@@ -1,0 +1,12 @@
+"""Pragma fixture: a justified pragma suppresses the finding, no RL000."""
+
+import numpy as np
+
+
+def factorize(hessian):
+    # reprolint: ignore[RL004] -- fixture: a deliberate, justified suppression
+    return np.linalg.cholesky(hessian)
+
+
+def trailing(hessian):
+    return np.linalg.eigh(hessian)  # reprolint: ignore[RL004] -- trailing form

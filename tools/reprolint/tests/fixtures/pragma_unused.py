@@ -1,0 +1,6 @@
+"""Pragma fixture: a pragma that suppresses nothing is itself a finding."""
+
+
+def add(a, b):
+    # reprolint: ignore[RL004] -- nothing here for this pragma to suppress
+    return a + b

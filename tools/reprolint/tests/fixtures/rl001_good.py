@@ -1,0 +1,17 @@
+"""RL001 negative fixture: all writes live in the registered build method."""
+
+
+class SharedCache:
+    def __init__(self):
+        self._value = None
+        self.stats = {"builds": 0}
+
+    def build(self):
+        self._value = 42
+        self.stats["builds"] += 1
+        return self._value
+
+    def get(self):
+        if self._value is None:
+            raise RuntimeError("call build() first")
+        return self._value

@@ -1,0 +1,26 @@
+"""RL002 positive fixture: counter discipline violations.
+
+With the synthetic registry of the fixture tests this seeds four
+findings: ``build`` never bumps its registered counter, ``vanished`` is
+registered but not defined (registry drift), ``helper`` is exempt
+without a written reason, and ``patch`` bumps a counter no stats dict
+declares.
+"""
+
+
+class Registry:
+    def __init__(self):
+        self.stats = {"builds": 0}
+        self._value = None
+
+    def build(self):
+        self._value = 1
+        return self._value
+
+    def patch(self):
+        self._value = 2
+        self.stats["patches"] += 1
+        return self._value
+
+    def helper(self):
+        return 2

@@ -1,0 +1,15 @@
+"""RL002 negative fixture: the registered build bumps its declared counter."""
+
+
+class Registry:
+    def __init__(self):
+        self.stats = {"builds": 0}
+        self._value = None
+
+    def build(self):
+        self._value = 1
+        self.stats["builds"] += 1
+        return self._value
+
+    def helper(self):
+        return 2

@@ -1,0 +1,14 @@
+"""RL003 positive fixture: packed batches without num_rows / count."""
+
+import numpy as np
+
+
+def score(estimator, masks):
+    packed = np.packbits(masks, axis=1)
+    scores = estimator.bias_change_batch(packed)
+    rows = np.unpackbits(packed, axis=1)
+    return scores, rows
+
+
+def score_inline(estimator, masks):
+    return estimator.responsibility_batch(np.packbits(masks, axis=1))

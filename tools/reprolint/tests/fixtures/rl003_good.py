@@ -1,0 +1,16 @@
+"""RL003 negative fixture: packed calls thread num_rows=, unpackbits count=."""
+
+import numpy as np
+
+
+def score(estimator, masks):
+    packed = np.packbits(masks, axis=1)
+    scores = estimator.bias_change_batch(packed, num_rows=masks.shape[1])
+    rows = np.unpackbits(packed, axis=1, count=masks.shape[1])
+    return scores, rows
+
+
+def dense(estimator, masks):
+    # Dense boolean masks carry their row count in the shape: no keyword
+    # needed, and the name does not look packed.
+    return estimator.bias_change_batch(masks)

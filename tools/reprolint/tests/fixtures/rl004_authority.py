@@ -1,0 +1,7 @@
+"""RL004 negative fixture: this file *is* the registered factorization authority."""
+
+import numpy as np
+
+
+def factorize(hessian):
+    return np.linalg.cholesky(hessian)

@@ -1,0 +1,17 @@
+"""RL004 positive fixture: linalg on Hessian-shaped state outside the authority."""
+
+import numpy as np
+from scipy import linalg
+
+
+def factorize(hessian):
+    return np.linalg.cholesky(hessian)
+
+
+def spectrum(hess):
+    return linalg.eigh(hess)
+
+
+def unrelated(covariance):
+    # Not Hessian-shaped: deliberately out of scope.
+    return np.linalg.cholesky(covariance)

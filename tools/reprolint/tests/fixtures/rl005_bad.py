@@ -1,0 +1,5 @@
+"""RL005 positive fixture: an unguarded, undocumented metric division."""
+
+
+def rate_gap(num, denom):
+    return num / denom

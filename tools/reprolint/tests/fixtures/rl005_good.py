@@ -1,0 +1,27 @@
+"""RL005 negative fixture: every division is guarded or documented."""
+
+_EPS = 1e-9
+
+
+def guarded_gap(num, denom):
+    return num / (denom + _EPS)
+
+
+def clamped_gap(num, denom):
+    return num / max(denom, 1e-12)
+
+
+def checked_gap(num, denom):
+    if denom == 0:
+        raise ZeroDivisionError("empty group")
+    return num / denom
+
+
+def squared_gap(num, denom):
+    d = denom + _EPS
+    return num / d**2
+
+
+def documented_gap(num, denom):
+    """Degenerate denominators are reported as nan rather than failing."""
+    return num / denom

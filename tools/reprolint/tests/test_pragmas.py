@@ -1,0 +1,54 @@
+"""Pragma semantics: suppression, strictness, and dead-pragma detection."""
+
+from pathlib import Path
+
+from tools.reprolint.contracts import ContractSet
+from tools.reprolint.engine import run_analysis
+from tools.reprolint.pragmas import parse_pragmas
+from tools.reprolint.rules.rl004_factorization import RULE as RL004
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rl004(name: str) -> list:
+    return run_analysis([FIXTURES / name], contracts=ContractSet(), rules=[RL004])
+
+
+def test_justified_pragmas_suppress_standalone_and_trailing():
+    assert rl004("pragma_ok.py") == []
+
+
+def test_malformed_pragmas_are_findings_and_suppress_nothing():
+    findings = rl004("pragma_errors.py")
+    rl000 = [f for f in findings if f.rule == "RL000"]
+    surviving = [f for f in findings if f.rule == "RL004"]
+    assert len(rl000) == 3
+    messages = [f.message for f in rl000]
+    assert any("no '-- reason'" in m for m in messages)
+    assert any("unknown rule id" in m for m in messages)
+    assert any("lists no rules" in m for m in messages)
+    # None of the broken pragmas bought a suppression.
+    assert len(surviving) == 3
+
+
+def test_unused_pragma_is_a_finding():
+    findings = rl004("pragma_unused.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "RL000"
+    assert "unused pragma" in findings[0].message
+
+
+def test_parse_pragmas_coverage_forms(tmp_path):
+    source = (
+        "x = 1  # reprolint: ignore[RL001] -- trailing covers its own line\n"
+        "# reprolint: ignore[RL002, RL003] -- standalone covers the next code line\n"
+        "\n"
+        "y = 2\n"
+        "# reprolint: file-ignore[RL004] -- whole-file suppression\n"
+    )
+    pragmas, errors = parse_pragmas(tmp_path / "f.py", source)
+    assert errors == []
+    trailing, standalone, file_ignore = pragmas
+    assert trailing.covers == (1,) and trailing.rules == ("RL001",)
+    assert standalone.covers == (2, 4) and standalone.rules == ("RL002", "RL003")
+    assert file_ignore.kind == "file-ignore" and file_ignore.covers == ()
