@@ -30,6 +30,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.datasets import TabularEncoder, random_edit, train_test_split
 from repro.fairness import FairnessContext, fairness_report, get_metric, list_metrics
 from repro.influence import make_estimator
 from repro.models import LogisticRegression
+from repro.obs import CostReport, Tracer, trace
 from repro.poisoning import AnchoringAttack, rank_clusters_by_influence
 
 
@@ -86,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "delta_audit; requires --audit")
     explain.add_argument("--edit-seed", type=int, default=0,
                          help="seed for the --edit row selection")
+    explain.add_argument("--profile", action="store_true",
+                         help="enable hierarchical tracing for the run and print "
+                         "the span tree plus a per-query cost breakdown "
+                         "(GEMM/solve FLOPs, influence evaluations, cache hits)")
+    explain.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the run's trace as JSON to PATH: Chrome "
+                         "trace_event 'traceEvents' (loadable in Perfetto) plus "
+                         "the structured span tree; implies tracing")
 
     report = sub.add_parser("report", help="accuracy + all fairness metrics")
     add_common(report)
@@ -99,6 +109,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    if not (args.profile or args.trace_out):
+        return _explain_impl(args, tracer=None)
+    tracer = Tracer()
+    with trace.tracing(tracer):
+        status = _explain_impl(args, tracer=tracer)
+    if args.trace_out is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(tracer.export(), handle)
+        print(f"(trace written to {args.trace_out}: {tracer.span_count()} spans)")
+    return status
+
+
+def _profile_report(tracer: Tracer, costs) -> None:
+    """Print the span tree and each query's cost attribution."""
+    print()
+    print(tracer.render_tree())
+    for cost in costs:
+        if cost is not None:
+            print()
+            print(cost.render())
+
+
+def _explain_impl(args: argparse.Namespace, tracer: Tracer | None) -> int:
     bundle = build_pipeline(
         args.dataset, args.model, metric=args.metric, n_rows=args.rows, seed=args.seed
     )
@@ -150,6 +183,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         )
         print()
         print(f"(session cache counters: {counters})")
+        if args.profile and tracer is not None:
+            _profile_report(tracer, [query.cost for query in result.queries])
         return 0
     gopher = GopherExplainer(
         bundle.model,
@@ -168,6 +203,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         updates = gopher.explain_updates(result, verify=not args.no_verify)
         print()
         print(updates.render())
+    if args.profile and tracer is not None:
+        costs = [
+            CostReport.from_span(root) for root in tracer.roots if root.end is not None
+        ]
+        _profile_report(tracer, costs)
     return 0
 
 

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.mining.alphabet import PredicateAlphabet
 from repro.mining.bitset import pack_rows, popcount
+from repro.obs import trace
 from repro.patterns.lattice import LatticeRecord, PatternStats
 from repro.patterns.pattern import Pattern
 from repro.patterns.topk import select_top_k
@@ -90,9 +91,10 @@ def _batch_scores(estimator, packed: np.ndarray, num_rows: int) -> tuple[np.ndar
     if packed.shape[0] == 0:
         empty = np.zeros(0)
         return empty, empty
-    bias = estimator.bias_change_batch(packed, num_rows=num_rows)
-    base = _baseline(estimator)
-    resp = -bias / base if base != 0.0 else np.zeros_like(bias)
+    with trace.span("delta.score", m=int(packed.shape[0])):
+        bias = estimator.bias_change_batch(packed, num_rows=num_rows)
+        base = _baseline(estimator)
+        resp = -bias / base if base != 0.0 else np.zeros_like(bias)
     return resp, bias
 
 

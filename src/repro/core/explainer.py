@@ -17,6 +17,7 @@ from repro.influence.estimators import InfluenceEstimator
 from repro.influence.retrain import RetrainInfluence
 from repro.mining.engine import make_engine
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
 from repro.patterns.pattern import Pattern
 from repro.patterns.topk import select_top_k
 
@@ -144,32 +145,39 @@ class GopherExplainer:
 
         start = time.perf_counter()
         engine = make_engine(cfg.engine)
-        lattice = engine.generate(
-            self.train_data.table,
-            self.estimator,
-            support_threshold=cfg.support_threshold,
-            max_predicates=cfg.max_predicates,
-            num_bins=cfg.num_bins,
-            exclude_features=cfg.exclude_features or None,
-            prune_by_responsibility=cfg.prune_by_responsibility,
-            max_responsibility=cfg.max_responsibility,
-            batch_size=cfg.search_batch_size,
-            alphabet_cache=self.session.alphabet_cache,
-        )
+        self.session.metrics.inc(f"engine.{cfg.engine}_searches")
+        with trace.span("explain.search", engine=cfg.engine) as search_span:
+            lattice = engine.generate(
+                self.train_data.table,
+                self.estimator,
+                support_threshold=cfg.support_threshold,
+                max_predicates=cfg.max_predicates,
+                num_bins=cfg.num_bins,
+                exclude_features=cfg.exclude_features or None,
+                prune_by_responsibility=cfg.prune_by_responsibility,
+                max_responsibility=cfg.max_responsibility,
+                batch_size=cfg.search_batch_size,
+                alphabet_cache=self.session.alphabet_cache,
+            )
+            search_span.set(
+                candidates=lattice.num_candidates, evaluated=lattice.num_evaluated
+            )
         search_seconds = time.perf_counter() - start
         protected_only = (
             {self.protected_group.attribute} if cfg.exclude_protected_only else None
         )
-        selected, filter_seconds = select_top_k(
-            lattice,
-            k,
-            cfg.containment_threshold,
-            exclude_features_only=protected_only,
-            max_responsibility=cfg.max_responsibility,
-        )
+        with trace.span("explain.filter", k=k):
+            selected, filter_seconds = select_top_k(
+                lattice,
+                k,
+                cfg.containment_threshold,
+                exclude_features_only=protected_only,
+                max_responsibility=cfg.max_responsibility,
+            )
         explanations = [Explanation.from_stats(i + 1, s) for i, s in enumerate(selected)]
         if verify:
-            self._verify(explanations, [s.mask() for s in selected])
+            with trace.span("explain.verify", subsets=len(explanations)):
+                self._verify(explanations, [s.mask() for s in selected])
         return ExplanationSet(
             explanations=explanations,
             metric_name=cfg.metric,

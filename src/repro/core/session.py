@@ -27,6 +27,7 @@ the Hessian exactly once" is an assertable property, not a hope — see
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -46,6 +47,9 @@ from repro.influence.estimators import InfluenceEstimator, make_estimator
 from repro.mining.alphabet import AlphabetCache
 from repro.mining.engine import CandidateResult
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
+from repro.obs.cost import CostReport
+from repro.obs.metrics import MetricsRegistry
 
 # "exact" and "series" are first-class names for the two second-order
 # variants (see make_estimator); for kwarg-inheritance purposes they are
@@ -65,6 +69,9 @@ class AuditQuery:
     group: ProtectedGroup
     explanations: ExplanationSet
     seconds: float
+    #: Per-query cost attribution derived from the query's span subtree
+    #: (None when tracing was disabled during the audit).
+    cost: CostReport | None = None
 
     @property
     def original_bias(self) -> float:
@@ -173,6 +180,9 @@ class DeltaQuery:
     recheck_ran: bool
     seconds: float
     reason: str = ""
+    #: Per-query cost attribution derived from the query's span subtree
+    #: (None when tracing was disabled during the delta audit).
+    cost: CostReport | None = None
 
     def delta_records(self) -> list[dict]:
         """Rank-by-rank diff of the two explanation sets.
@@ -343,6 +353,14 @@ class AuditSession:
         self._contexts: dict[ProtectedGroup, FairnessContext] = {}
         self.last_audit: AuditResult | None = None
         self._last_audit_key: tuple | None = None
+        # One registry per session: the shared caches register their
+        # namespaced counters into it, queries observe timings, and
+        # ``session.stats`` is a read view over it.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_histogram("audit.query_seconds")
+        # Guards the context memo and the last-audit bookmark so the read
+        # path stays race-free under concurrent serving.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def fit(
@@ -384,8 +402,14 @@ class AuditSession:
                     "to a different encoding — refit it (or pass an unfitted model) "
                     "before starting a session"
                 )
-        self.artifacts = ModelArtifacts(self.model, self.X_train, train.labels)
-        self.alphabet_cache = AlphabetCache(train.table)
+        # A refit is a fresh start-up: counters restart from zero so the
+        # exactly-once amortization assertions stay meaningful.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_histogram("audit.query_seconds")
+        self.artifacts = ModelArtifacts(
+            self.model, self.X_train, train.labels, metrics=self.metrics
+        )
+        self.alphabet_cache = AlphabetCache(train.table, metrics=self.metrics)
         self._contexts = {}
         self.last_audit = None
         self._last_audit_key = None
@@ -458,12 +482,17 @@ class AuditSession:
         """
         self._require_fitted()
         assert self.artifacts is not None and self.alphabet_cache is not None
-        merged: dict[str, int] = {}
-        for name, value in self.artifacts.stats.items():
-            merged[f"influence.{name}"] = value
-        for name, value in self.alphabet_cache.stats.items():
-            merged[f"mining.{name}"] = value
+        # The shared caches register namespaced counters straight into the
+        # session registry, so the snapshot already carries the
+        # ``influence.*`` / ``mining.*`` (and ``engine.*``) names.
+        merged: dict[str, int] = dict(self.metrics.snapshot()["counters"])
         # Deprecated flat aliases (pre-namespacing callers key on these).
+        # Every namespaced counter gets one; the cache views win on the
+        # historical influence.* / mining.* names.
+        for key, value in list(merged.items()):
+            _, _, bare = key.partition(".")
+            if bare:
+                merged.setdefault(bare, value)
         merged.update(self.artifacts.stats)
         merged.update(self.alphabet_cache.stats)
         return merged
@@ -491,12 +520,12 @@ class AuditSession:
                     "sides of the comparison must be non-empty — check the "
                     "privileged category/threshold against this split"
                 )
-            # reprolint: ignore[RL001] -- idempotent per-group memo: warm()
-            # pre-builds declared groups, and a racing double-insert writes
-            # the same value (benign under the GIL)
-            self._contexts[resolved] = self.test_data.fairness_context(
-                self.X_test, resolved
-            )
+            with trace.span("audit.context", group=resolved.describe()):
+                context = self.test_data.fairness_context(self.X_test, resolved)
+            # First build wins under the lock; a racing builder computed the
+            # same idempotent value and discards it.
+            with self._lock:
+                self._contexts.setdefault(resolved, context)
         return self._contexts[resolved]
 
     def estimator_for(
@@ -610,28 +639,45 @@ class AuditSession:
         metric_names = list(metrics) if metrics is not None else list_metrics()
         group_list = list(groups) if groups is not None else [self.test_data.protected]  # type: ignore[union-attr]
         queries: list[AuditQuery] = []
-        for group in group_list:
-            for metric in metric_names:
-                start = time.perf_counter()
-                view = self.explainer(metric=metric, group=group, estimator=estimator)
-                explanations = view.explain(k=k, verify=verify)
-                queries.append(
-                    AuditQuery(
-                        metric=metric,
-                        group=group,
-                        explanations=explanations,
-                        seconds=time.perf_counter() - start,
+        with trace.span(
+            "audit.grid", metrics=len(metric_names), groups=len(group_list)
+        ):
+            for group in group_list:
+                for metric in metric_names:
+                    start = time.perf_counter()
+                    with trace.span(
+                        "audit.query", metric=metric, group=group.describe()
+                    ) as query_span:
+                        view = self.explainer(
+                            metric=metric, group=group, estimator=estimator
+                        )
+                        explanations = view.explain(k=k, verify=verify)
+                    seconds = time.perf_counter() - start
+                    self.metrics.observe("audit.query_seconds", seconds)
+                    cost = (
+                        CostReport.from_span(query_span)
+                        if trace.get_tracer().enabled
+                        else None
                     )
-                )
+                    queries.append(
+                        AuditQuery(
+                            metric=metric,
+                            group=group,
+                            explanations=explanations,
+                            seconds=seconds,
+                            cost=cost,
+                        )
+                    )
         result = AuditResult(
             queries=queries, setup_seconds=self.setup_seconds, stats=dict(self.stats)
         )
-        # delta_audit diffs against the latest audit of the same grid.
-        # reprolint: ignore[RL001] -- audit-history bookmark for delta
-        # chaining, not a cache: last-writer-wins is the intended semantics
-        self.last_audit = result
-        # reprolint: ignore[RL001] -- same bookmark, second half
-        self._last_audit_key = self._audit_key(metric_names, group_list, k, verify, estimator)
+        # delta_audit diffs against the latest audit of the same grid; both
+        # halves of the bookmark move together under the session lock.
+        with self._lock:
+            self.last_audit = result
+            self._last_audit_key = self._audit_key(
+                metric_names, group_list, k, verify, estimator
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -725,8 +771,10 @@ class AuditSession:
         metric_names = list(metrics) if metrics is not None else list_metrics()
         group_list = list(groups) if groups is not None else [self.test_data.protected]
         key = self._audit_key(metric_names, group_list, k, verify, estimator)
-        if self.last_audit is not None and self._last_audit_key == key:
-            before = self.last_audit
+        with self._lock:
+            last_audit, last_key = self.last_audit, self._last_audit_key
+        if last_audit is not None and last_key == key:
+            before = last_audit
         else:
             before = self.audit(
                 metrics=metric_names, groups=group_list, k=k, verify=verify,
@@ -750,41 +798,57 @@ class AuditSession:
         # filter) is metric-independent: build it once for the whole grid.
         geometry = None
         if level1_stable and recheck != "always" and cfg.max_predicates <= 2:
-            geometry = replay_geometry(alphabet, cfg.support_threshold)
+            with trace.span("delta.geometry"):
+                geometry = replay_geometry(alphabet, cfg.support_threshold)
 
         delta_queries: list[DeltaQuery] = []
         after_queries: list[AuditQuery] = []
-        for bq in before.queries:
-            t0 = time.perf_counter()
-            view = self.explainer(metric=bq.metric, group=bq.group, estimator=estimator)
-            after_set, certified, recheck_ran, reason = self._delta_query(
-                bq, view, k, verify, recheck, level1_stable, alphabet, geometry
-            )
-            seconds = time.perf_counter() - t0
-            delta_queries.append(
-                DeltaQuery(
-                    metric=bq.metric,
-                    group=bq.group,
-                    before=bq.explanations,
-                    after=after_set,
-                    certified=certified,
-                    recheck_ran=recheck_ran,
-                    seconds=seconds,
-                    reason=reason,
+        with trace.span("delta.grid", queries=len(before.queries)):
+            for bq in before.queries:
+                t0 = time.perf_counter()
+                with trace.span(
+                    "delta.query", metric=bq.metric, group=bq.group.describe()
+                ) as query_span:
+                    view = self.explainer(
+                        metric=bq.metric, group=bq.group, estimator=estimator
+                    )
+                    after_set, certified, recheck_ran, reason = self._delta_query(
+                        bq, view, k, verify, recheck, level1_stable, alphabet, geometry
+                    )
+                    query_span.set(certified=certified, recheck_ran=recheck_ran)
+                seconds = time.perf_counter() - t0
+                self.metrics.observe("audit.query_seconds", seconds)
+                cost = (
+                    CostReport.from_span(query_span)
+                    if trace.get_tracer().enabled
+                    else None
                 )
-            )
-            after_queries.append(
-                AuditQuery(
-                    metric=bq.metric, group=bq.group,
-                    explanations=after_set, seconds=seconds,
+                delta_queries.append(
+                    DeltaQuery(
+                        metric=bq.metric,
+                        group=bq.group,
+                        before=bq.explanations,
+                        after=after_set,
+                        certified=certified,
+                        recheck_ran=recheck_ran,
+                        seconds=seconds,
+                        reason=reason,
+                        cost=cost,
+                    )
                 )
-            )
+                after_queries.append(
+                    AuditQuery(
+                        metric=bq.metric, group=bq.group,
+                        explanations=after_set, seconds=seconds, cost=cost,
+                    )
+                )
         after = AuditResult(
             queries=after_queries, setup_seconds=self.setup_seconds,
             stats=dict(self.stats),
         )
-        self.last_audit = after
-        self._last_audit_key = key
+        with self._lock:
+            self.last_audit = after
+            self._last_audit_key = key
         return DeltaAuditResult(
             edit=edit,
             queries=delta_queries,
@@ -813,15 +877,18 @@ class AuditSession:
         search_start = time.perf_counter()
         if level1_stable:
             record = getattr(before_query.explanations.lattice, "record", None)
-            replay, reason = replay_search(
-                record,
-                alphabet,
-                view.estimator,
-                cfg,
-                k,
-                view.protected_group.attribute,
-                geometry=geometry,
-            )
+            with trace.span("delta.replay", metric=cfg.metric) as replay_span:
+                replay, reason = replay_search(
+                    record,
+                    alphabet,
+                    view.estimator,
+                    cfg,
+                    k,
+                    view.protected_group.attribute,
+                    geometry=geometry,
+                )
+                if replay is not None:
+                    replay_span.set(evaluated=replay.num_evaluated)
         else:
             replay, reason = None, "the edit changed the level-1 alphabet"
         if replay is None:

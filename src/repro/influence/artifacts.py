@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.influence.hessian import HessianSolver
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, StatsView
 
 
 class ModelArtifacts:
@@ -57,6 +59,7 @@ class ModelArtifacts:
         model: TwiceDifferentiableClassifier,
         X_train: np.ndarray,
         y_train: np.ndarray,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if model.theta is None:
             raise ValueError("model must be fitted before building influence artifacts")
@@ -74,17 +77,21 @@ class ModelArtifacts:
         # Monotone staleness token: bumped by apply_edit.  Estimators record
         # it at construction and refuse to score once it moves on.
         self.version = 0
-        self.stats = {
-            "per_sample_grad_builds": 0,
-            "hessian_builds": 0,
-            "hessian_factorizations": 0,
-            "rank_one_factor_builds": 0,
-            "learning_rate_builds": 0,
-            "exact_rotation_builds": 0,
-            "edits": 0,
-            "solver_updates": 0,
-            "exact_rotation_patches": 0,
-        }
+        self.stats = StatsView(
+            {
+                "per_sample_grad_builds": 0,
+                "hessian_builds": 0,
+                "hessian_factorizations": 0,
+                "rank_one_factor_builds": 0,
+                "learning_rate_builds": 0,
+                "exact_rotation_builds": 0,
+                "edits": 0,
+                "solver_updates": 0,
+                "exact_rotation_patches": 0,
+            },
+            registry=metrics,
+            namespace="influence",
+        )
 
     # ------------------------------------------------------------------
     def check_compatible(
@@ -128,16 +135,26 @@ class ModelArtifacts:
     def per_sample_grads(self) -> np.ndarray:
         """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) — built once."""
         if self._per_sample_grads is None:
-            self._per_sample_grads = self.model.per_sample_grads(self.X_train, self.y_train)
-            self.stats["per_sample_grad_builds"] += 1
+            trace.add("cache_misses")
+            with trace.span("artifacts.per_sample_grads", n=self.num_train):
+                self._per_sample_grads = self.model.per_sample_grads(
+                    self.X_train, self.y_train
+                )
+            self.stats.inc("per_sample_grad_builds")
+        else:
+            trace.add("cache_hits")
         return self._per_sample_grads
 
     @property
     def hessian(self) -> np.ndarray:
         """The mean training Hessian H(θ*) — built once."""
         if self._hessian is None:
-            self._hessian = self.model.hessian(self.X_train, self.y_train)
-            self.stats["hessian_builds"] += 1
+            trace.add("cache_misses")
+            with trace.span("artifacts.hessian", n=self.num_train):
+                self._hessian = self.model.hessian(self.X_train, self.y_train)
+            self.stats.inc("hessian_builds")
+        else:
+            trace.add("cache_hits")
         return self._hessian
 
     def solver(self, damping: float = 0.0) -> HessianSolver:
@@ -150,18 +167,24 @@ class ModelArtifacts:
         """
         key = float(damping)
         if key not in self._solvers:
+            trace.add("cache_misses")
             self._solvers[key] = HessianSolver(self.hessian, damping=key)
-            self.stats["hessian_factorizations"] += 1
+            self.stats.inc("hessian_factorizations")
+        else:
+            trace.add("cache_hits")
         return self._solvers[key]
 
     def hessian_factors(self) -> tuple[np.ndarray, np.ndarray, float] | None:
         """The model's rank-one Hessian factors, or None if unavailable."""
         if self._factors == "unset":
+            trace.add("cache_misses")
             try:
                 self._factors = self.model.hessian_factors(self.X_train, self.y_train)
             except NotImplementedError:
                 self._factors = None
-            self.stats["rank_one_factor_builds"] += 1
+            self.stats.inc("rank_one_factor_builds")
+        else:
+            trace.add("cache_hits")
         return self._factors  # type: ignore[return-value]
 
     def exact_rotation(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
@@ -176,18 +199,24 @@ class ModelArtifacts:
         """
         key = float(damping)
         if key not in self._exact_rot:
-            factors = self.hessian_factors()
-            if factors is None:
-                raise ValueError("model exposes no rank-one Hessian factors to rotate")
-            phi, weights, _ = factors
-            eigvecs = self.solver(key).eigendecomposition()[1]
-            curved = weights > 0.0
-            sqrt_w = np.sqrt(weights, where=curved, out=np.zeros_like(weights))
-            self._exact_rot[key] = (
-                self.per_sample_grads @ eigvecs,
-                (phi * sqrt_w[:, None]) @ eigvecs,
-            )
-            self.stats["exact_rotation_builds"] += 1
+            trace.add("cache_misses")
+            with trace.span("artifacts.exact_rotation", n=self.num_train) as s:
+                factors = self.hessian_factors()
+                if factors is None:
+                    raise ValueError("model exposes no rank-one Hessian factors to rotate")
+                phi, weights, _ = factors
+                eigvecs = self.solver(key).eigendecomposition()[1]
+                curved = weights > 0.0
+                sqrt_w = np.sqrt(weights, where=curved, out=np.zeros_like(weights))
+                p = eigvecs.shape[0]
+                s.add("gemm_flops", 2.0 * 2 * self.num_train * p * p)
+                self._exact_rot[key] = (
+                    self.per_sample_grads @ eigvecs,
+                    (phi * sqrt_w[:, None]) @ eigvecs,
+                )
+            self.stats.inc("exact_rotation_builds")
+        else:
+            trace.add("cache_hits")
         return self._exact_rot[key]
 
     # ------------------------------------------------------------------
@@ -360,9 +389,9 @@ class ModelArtifacts:
                     grad_rot = np.vstack([grad_rot, grads_add @ Q])
                     curve_rot = np.vstack([curve_rot, (phi_add * sqrt_w[:, None]) @ Q])
                 self._exact_rot[key] = (grad_rot @ W, curve_rot @ W)
-                self.stats["exact_rotation_patches"] += 1
+                self.stats.inc("exact_rotation_patches")
             self._solvers[key] = new_solver
-            self.stats["solver_updates"] += 1
+            self.stats.inc("solver_updates")
 
         # -- row-wise caches and the data itself ---------------------------
         if self._per_sample_grads is not None:
@@ -397,15 +426,18 @@ class ModelArtifacts:
         self.num_train = n_new
         self._auto_learning_rate = None
         self.version += 1
-        self.stats["edits"] += 1
+        self.stats.inc("edits")
 
     def auto_learning_rate(self) -> float:
         """η = 1/λ_max(H), the shared one-step surrogate step size."""
         if self._auto_learning_rate is None:
             from repro.influence.one_step_gd import auto_learning_rate
 
+            trace.add("cache_misses")
             self._auto_learning_rate = auto_learning_rate(self.hessian)
-            self.stats["learning_rate_builds"] += 1
+            self.stats.inc("learning_rate_builds")
+        else:
+            trace.add("cache_hits")
         return self._auto_learning_rate
 
     # ------------------------------------------------------------------

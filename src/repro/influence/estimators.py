@@ -91,6 +91,7 @@ import numpy as np
 from repro.fairness.metrics import FairnessContext, FairnessMetric
 from repro.influence.artifacts import ModelArtifacts
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
 
 _EVALUATIONS = ("linear", "smooth", "hard")
 
@@ -139,7 +140,11 @@ class InfluenceEstimator(ABC):
     def grad_f(self) -> np.ndarray:
         """∇_θF(θ*) of the smooth surrogate (cached)."""
         if self._grad_f is None:
-            self._grad_f = self.metric.grad_theta(self.model, self.test_ctx)
+            trace.add("cache_misses")
+            with trace.span("influence.grad_f", metric=self.metric.name):
+                self._grad_f = self.metric.grad_theta(self.model, self.test_ctx)
+        else:
+            trace.add("cache_hits")
         return self._grad_f
 
     def warm(self) -> "InfluenceEstimator":
@@ -243,19 +248,32 @@ class InfluenceEstimator(ABC):
         """
         packed = self._check_packed(subsets, num_rows)
         if packed is not None:
-            return self._packed_bias_change(packed)
+            with trace.span(
+                "influence.batch_packed",
+                estimator=type(self).__name__,
+                m=int(packed.shape[0]),
+            ):
+                return self._packed_bias_change(packed)
         masks = self._check_batch(subsets)
         if masks.shape[0] == 0:
             return np.zeros(0)
-        deltas = self._param_change_from_masks(masks)
-        if self.evaluation == "linear":
-            return deltas @ self.grad_f
-        thetas = self.theta[None, :] + deltas
-        if self.evaluation == "smooth":
-            after = self.metric.surrogate_batch(self.model, self.test_ctx, thetas)
-            return after - self.original_surrogate
-        after = self.metric.value_batch(self.model, self.test_ctx, thetas)
-        return after - self.original_bias
+        with trace.span(
+            "influence.batch",
+            estimator=type(self).__name__,
+            m=int(masks.shape[0]),
+            n=self.num_train,
+        ) as s:
+            s.add("evaluations", int(masks.shape[0]))
+            deltas = self._param_change_from_masks(masks)
+            if self.evaluation == "linear":
+                return deltas @ self.grad_f
+            thetas = self.theta[None, :] + deltas
+            with trace.span("influence.evaluate", mode=self.evaluation, m=int(masks.shape[0])):
+                if self.evaluation == "smooth":
+                    after = self.metric.surrogate_batch(self.model, self.test_ctx, thetas)
+                    return after - self.original_surrogate
+                after = self.metric.value_batch(self.model, self.test_ctx, thetas)
+                return after - self.original_bias
 
     def responsibility_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         """Causal responsibility R_F(S) for every subset — shape (m,)."""

@@ -23,6 +23,7 @@ from repro.fairness.metrics import FairnessContext, FairnessMetric
 from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
 
 
 class FirstOrderInfluence(InfluenceEstimator):
@@ -55,7 +56,11 @@ class FirstOrderInfluence(InfluenceEstimator):
             return np.zeros((0, self.model.num_params))
         # One GEMM forms every g_S; one multi-RHS solve against the cached
         # factorization turns them into Δθ's.
-        grad_sums = masks.astype(np.float64) @ self.per_sample_grads
+        m, n = masks.shape
+        p = self.model.num_params
+        with trace.span("influence.gemm", m=m, n=n, p=p) as s:
+            s.add("gemm_flops", 2.0 * m * n * p)
+            grad_sums = masks.astype(np.float64) @ self.per_sample_grads
         return self.solver.solve_many(grad_sums) / self.num_train
 
     def bias_change(self, indices: np.ndarray) -> float:
@@ -69,11 +74,24 @@ class FirstOrderInfluence(InfluenceEstimator):
             return super().bias_change_batch(subsets, num_rows=num_rows)
         packed = self._check_packed(subsets, num_rows)
         if packed is not None:
-            return self._packed_bias_change(packed)
+            with trace.span(
+                "influence.batch_packed",
+                estimator=type(self).__name__,
+                m=int(packed.shape[0]),
+            ):
+                return self._packed_bias_change(packed)
         masks = self._check_batch(subsets)
         # Linearized ΔF is additive over points, so the whole batch is one
         # mask-matrix / point-influence product — no solve at all.
-        return masks.astype(np.float64) @ self.point_influences()
+        with trace.span(
+            "influence.batch",
+            estimator=type(self).__name__,
+            m=int(masks.shape[0]),
+            n=self.num_train,
+        ) as s:
+            s.add("evaluations", int(masks.shape[0]))
+            s.add("gemm_flops", 2.0 * masks.shape[0] * masks.shape[1])
+            return masks.astype(np.float64) @ self.point_influences()
 
     def point_influences(self) -> np.ndarray:
         """Per-point linearized bias influence of removal, shape (n,).

@@ -13,6 +13,9 @@ import numpy as np
 from scipy import linalg
 from scipy.sparse.linalg import LinearOperator, cg
 
+from repro.obs import trace
+from repro.obs.metrics import StatsView
+
 
 class HessianSolver:
     """Solves H x = b repeatedly against one factorized Hessian.
@@ -30,12 +33,16 @@ class HessianSolver:
         hessian = np.asarray(hessian, dtype=np.float64)
         if hessian.ndim != 2 or hessian.shape[0] != hessian.shape[1]:
             raise ValueError(f"hessian must be square, got shape {hessian.shape}")
-        if not np.allclose(hessian, hessian.T, atol=1e-8):
+        # Cheap max-abs check: np.allclose costs ~80µs of broadcasting
+        # machinery per call, which dominates the ctor when the exact
+        # estimator's dense fallback builds thousands of small solvers.
+        tolerance = 1e-8 + 1e-5 * np.abs(hessian).max(initial=0.0)
+        if np.abs(hessian - hessian.T).max(initial=0.0) > tolerance:
             raise ValueError("hessian must be symmetric")
         self.dim = hessian.shape[0]
         self.hessian = hessian
         self.damping_used = 0.0
-        self.stats = {"eigendecompositions": 0}
+        self.stats = StatsView({"eigendecompositions": 0}, namespace="hessian")
         self._factor = self._factorize(hessian, damping)
         self._eig: tuple[np.ndarray, np.ndarray] | None = None
 
@@ -67,7 +74,7 @@ class HessianSolver:
             raise ValueError(f"hessian must be square, got shape {hessian.shape}")
         self.dim = hessian.shape[0]
         self.hessian = hessian
-        self.stats = {"eigendecompositions": 0}
+        self.stats = StatsView({"eigendecompositions": 0}, namespace="hessian")
         eigvals = np.asarray(eigvals, dtype=np.float64)
         eigvecs = np.asarray(eigvecs, dtype=np.float64)
         if eigvals.shape != (self.dim,) or eigvecs.shape != (self.dim, self.dim):
@@ -136,27 +143,29 @@ class HessianSolver:
         eigenbasis to the new, so row caches rotated by ``Q`` (the exact
         second-order rotation caches) become current via one ``@ W``.
         """
-        eigvals, eigvecs = self.eigendecomposition()
-        new_hessian = np.asarray(new_hessian, dtype=np.float64)
-        if update_vectors is not None:
-            V = np.asarray(update_vectors, dtype=np.float64) @ eigvecs
-            weights = np.asarray(update_weights, dtype=np.float64).reshape(-1)
-            if V.shape[0] != weights.shape[0]:
-                raise ValueError(
-                    f"{V.shape[0]} update vectors but {weights.shape[0]} weights"
-                )
-            core = np.diag(scale * eigvals + shift)
-            core += (V * weights[:, None]).T @ V
-        else:
-            matrix = new_hessian
-            if self.damping_used:
-                matrix = matrix + self.damping_used * np.eye(self.dim)
-            core = eigvecs.T @ matrix @ eigvecs
-        new_eigvals, W = linalg.eigh(core, check_finite=False)
-        solver = HessianSolver.from_eigendecomposition(
-            new_hessian, new_eigvals, eigvecs @ W, damping=self.damping_used
-        )
-        return solver, W
+        rank = -1 if update_vectors is None else int(np.shape(update_vectors)[0])
+        with trace.span("hessian.update", dim=self.dim, rank=rank):
+            eigvals, eigvecs = self.eigendecomposition()
+            new_hessian = np.asarray(new_hessian, dtype=np.float64)
+            if update_vectors is not None:
+                V = np.asarray(update_vectors, dtype=np.float64) @ eigvecs
+                weights = np.asarray(update_weights, dtype=np.float64).reshape(-1)
+                if V.shape[0] != weights.shape[0]:
+                    raise ValueError(
+                        f"{V.shape[0]} update vectors but {weights.shape[0]} weights"
+                    )
+                core = np.diag(scale * eigvals + shift)
+                core += (V * weights[:, None]).T @ V
+            else:
+                matrix = new_hessian
+                if self.damping_used:
+                    matrix = matrix + self.damping_used * np.eye(self.dim)
+                core = eigvecs.T @ matrix @ eigvecs
+            new_eigvals, W = linalg.eigh(core, check_finite=False)
+            solver = HessianSolver.from_eigendecomposition(
+                new_hessian, new_eigvals, eigvecs @ W, damping=self.damping_used
+            )
+            return solver, W
 
     def eigendecomposition(self) -> tuple[np.ndarray, np.ndarray]:
         """Eigendecomposition ``(eigvals, eigvecs)`` of the damped matrix.
@@ -171,11 +180,12 @@ class HessianSolver:
         callers.
         """
         if self._eig is None:
-            matrix = self.hessian
-            if self.damping_used:
-                matrix = matrix + self.damping_used * np.eye(self.dim)
-            self._eig = linalg.eigh(matrix, check_finite=False)
-            self.stats["eigendecompositions"] += 1
+            with trace.span("hessian.eigendecomposition", dim=self.dim):
+                matrix = self.hessian
+                if self.damping_used:
+                    matrix = matrix + self.damping_used * np.eye(self.dim)
+                self._eig = linalg.eigh(matrix, check_finite=False)
+            self.stats.inc("eigendecompositions")
         return self._eig
 
     def shifted_solve_many(self, B: np.ndarray, shifts: np.ndarray) -> np.ndarray:
@@ -194,28 +204,32 @@ class HessianSolver:
         shifts = np.broadcast_to(np.asarray(shifts, dtype=np.float64), (B.shape[0],))
         if B.shape[0] == 0:
             return np.zeros_like(B)
-        eigvals, eigvecs = self.eigendecomposition()
-        denom = eigvals[None, :] + shifts[:, None]  # (k, p)
-        if denom.min() <= 0.0:
-            raise np.linalg.LinAlgError(
-                "shifted matrix is not positive definite (eigenvalue "
-                f"{denom.min():.3e} after shift)"
-            )
-        return ((B @ eigvecs) / denom) @ eigvecs.T
+        with trace.span("hessian.solve", n=self.dim, rhs=B.shape[0], shifted=True) as s:
+            eigvals, eigvecs = self.eigendecomposition()
+            denom = eigvals[None, :] + shifts[:, None]  # (k, p)
+            if denom.min() <= 0.0:
+                raise np.linalg.LinAlgError(
+                    "shifted matrix is not positive definite (eigenvalue "
+                    f"{denom.min():.3e} after shift)"
+                )
+            s.add("solve_flops", 4.0 * self.dim * self.dim * B.shape[0])
+            return ((B @ eigvecs) / denom) @ eigvecs.T
 
     def _factorize(self, hessian: np.ndarray, damping: float):
-        ridge = damping
-        for _ in range(8):
-            try:
-                matrix = hessian if ridge == 0.0 else hessian + ridge * np.eye(self.dim)
-                factor = linalg.cho_factor(matrix, check_finite=False)
-                self.damping_used = ridge
-                return factor
-            except linalg.LinAlgError:
-                ridge = max(ridge * 10.0, 1e-8)
-        raise np.linalg.LinAlgError(
-            f"hessian could not be factorized even with damping {ridge:.1e}"
-        )
+        with trace.span("hessian.factorize", dim=self.dim) as s:
+            ridge = damping
+            for attempt in range(8):
+                try:
+                    matrix = hessian if ridge == 0.0 else hessian + ridge * np.eye(self.dim)
+                    factor = linalg.cho_factor(matrix, check_finite=False)
+                    self.damping_used = ridge
+                    s.set(damping=ridge, attempts=attempt + 1)
+                    return factor
+                except linalg.LinAlgError:
+                    ridge = max(ridge * 10.0, 1e-8)
+            raise np.linalg.LinAlgError(
+                f"hessian could not be factorized even with damping {ridge:.1e}"
+            )
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Return H⁻¹ b for a vector or a column-stack of vectors (p, k).
@@ -227,12 +241,15 @@ class HessianSolver:
         b = np.asarray(b, dtype=np.float64)
         if b.shape[0] != self.dim:
             raise ValueError(f"right-hand side has leading dimension {b.shape[0]}, expected {self.dim}")
-        if self._factor is not None:
-            return linalg.cho_solve(self._factor, b, check_finite=False)
-        eigvals, eigvecs = self._eig  # type: ignore[misc]
-        proj = eigvecs.T @ b
-        proj = proj / (eigvals if proj.ndim == 1 else eigvals[:, None])
-        return eigvecs @ proj
+        rhs = 1 if b.ndim == 1 else b.shape[1]
+        with trace.span("hessian.solve", n=self.dim, rhs=rhs) as s:
+            s.add("solve_flops", 2.0 * self.dim * self.dim * rhs)
+            if self._factor is not None:
+                return linalg.cho_solve(self._factor, b, check_finite=False)
+            eigvals, eigvecs = self._eig  # type: ignore[misc]
+            proj = eigvecs.T @ b
+            proj = proj / (eigvals if proj.ndim == 1 else eigvals[:, None])
+            return eigvecs @ proj
 
     def solve_many(self, B: np.ndarray) -> np.ndarray:
         """Return H⁻¹ bᵢ for every *row* of a (k, p) matrix, as (k, p).
@@ -245,10 +262,13 @@ class HessianSolver:
             raise ValueError(f"B must have shape (k, {self.dim}), got {B.shape}")
         if B.shape[0] == 0:
             return np.zeros_like(B)
-        if self._factor is not None:
-            return linalg.cho_solve(self._factor, B.T, check_finite=False).T
-        eigvals, eigvecs = self._eig  # type: ignore[misc]
-        return ((B @ eigvecs) / eigvals[None, :]) @ eigvecs.T
+        with trace.span("hessian.solve", n=self.dim, rhs=B.shape[0]) as s:
+            if self._factor is not None:
+                s.add("solve_flops", 2.0 * self.dim * self.dim * B.shape[0])
+                return linalg.cho_solve(self._factor, B.T, check_finite=False).T
+            eigvals, eigvecs = self._eig  # type: ignore[misc]
+            s.add("solve_flops", 4.0 * self.dim * self.dim * B.shape[0])
+            return ((B @ eigvecs) / eigvals[None, :]) @ eigvecs.T
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """Return H x (with the damping used, for consistency with solve)."""

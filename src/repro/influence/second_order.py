@@ -55,6 +55,8 @@ from repro.influence.artifacts import ModelArtifacts
 from repro.influence.estimators import InfluenceEstimator
 from repro.influence.hessian import HessianSolver
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
+from repro.obs.metrics import StatsView
 
 # Batched exact queries process at most this many subsets at a time, so the
 # padded (block, r_max, p) downdate tensors stay chunk-bounded however large
@@ -103,12 +105,20 @@ class SecondOrderInfluence(InfluenceEstimator):
         # damping reuse one factorization and one set of rotated caches.
         self.hessian = self.artifacts.hessian
         self.solver = self.artifacts.solver(damping)
-        self.exact_batch_stats = {
-            "woodbury": 0,
-            "fallback_size": 0,
-            "fallback_cond": 0,
-            "fallback_factors": 0,
-        }
+        # Per-estimator registry: routing counts are asserted per instance
+        # by the equivalence/fuzz suites, so the namespace is private, and
+        # the lock inside StatsView.inc makes every bump exact under
+        # concurrent batched queries (this retires the old lossy-increment
+        # pragma on the fallback_factors site).
+        self.exact_batch_stats = StatsView(
+            {
+                "woodbury": 0,
+                "fallback_size": 0,
+                "fallback_cond": 0,
+                "fallback_factors": 0,
+            },
+            namespace="exact_batch",
+        )
 
     def warm(self) -> "SecondOrderInfluence":
         super().warm()
@@ -119,14 +129,25 @@ class SecondOrderInfluence(InfluenceEstimator):
         return self
 
     def param_change(self, indices: np.ndarray) -> np.ndarray:
-        indices = self._subset_size_ok(indices)
-        if indices.size == 0:
-            return np.zeros(self.model.num_params)
-        g_s = self.per_sample_grads[indices].sum(axis=0)
-        m, n = indices.size, self.num_train
-        subset_hessian = self.model.hessian(self.X_train[indices], self.y_train[indices])
-        if self.variant == "exact":
-            reduced = n * self.hessian - m * subset_hessian
+        # The whole per-subset preparation (validation, gradient sum, the
+        # subset Hessian, the reduced matrix) is one leaf span so the dense
+        # fallback's cost attribution lands on a measurable name.
+        with trace.span("influence.subset_hessian") as prep_span:
+            indices = self._subset_size_ok(indices)
+            if indices.size == 0:
+                return np.zeros(self.model.num_params)
+            m, n = indices.size, self.num_train
+            prep_span.set(m=int(m))
+            g_s = self.per_sample_grads[indices].sum(axis=0)
+            subset_hessian = self.model.hessian(
+                self.X_train[indices], self.y_train[indices]
+            )
+            reduced = (
+                n * self.hessian - m * subset_hessian
+                if self.variant == "exact"
+                else None
+            )
+        if reduced is not None:
             return HessianSolver(reduced, damping=self.damping).solve(g_s)
         u = self.solver.solve(g_s)
         correction = u - self.solver.solve(subset_hessian @ u)
@@ -159,25 +180,28 @@ class SecondOrderInfluence(InfluenceEstimator):
             if factors is None or factors[1].min() < 0.0:
                 # No rank-one structure (or weights that cannot be √-split
                 # into a symmetric downdate): every subset refactorizes.
-                # reprolint: ignore[RL001] -- diagnostic routing counter, not a cache:
-                # a benign-under-the-GIL increment that never feeds a result
-                self.exact_batch_stats["fallback_factors"] += num_subsets
+                self.exact_batch_stats.inc("fallback_factors", num_subsets)
                 return super()._param_change_from_masks(masks)
             return self._exact_param_change_from_masks(masks, factors)
         if factors is None:
             return super()._param_change_from_masks(masks)
         phi, weights, ridge = factors
         n = self.num_train
+        p = self.model.num_params
         mask_f = masks.astype(np.float64)
         sizes = mask_f.sum(axis=1)
-        grad_sums = mask_f @ self.per_sample_grads
+        with trace.span("influence.gemm", m=num_subsets, n=n, p=p) as s:
+            s.add("gemm_flops", 2.0 * num_subsets * n * p)
+            grad_sums = mask_f @ self.per_sample_grads
         u = self.solver.solve_many(grad_sums)  # (m, p) rows = H⁻¹ g_S
         # H_S u_S = (1/|S|) φᵀ (1_S ⊙ w ⊙ (φ u_S)) + ridge·u_S, batched over
         # the subset axis by weighting the (n, m) projection with the masks.
-        projections = phi @ u.T  # (n, m)
-        weighted = (mask_f.T * weights[:, None]) * projections
-        denom = np.where(sizes > 0, sizes, 1.0)
-        hs_u = (phi.T @ weighted) / denom[None, :] + ridge * u.T  # (p, m)
+        with trace.span("influence.gemm", m=num_subsets, n=n, p=p, kind="curvature") as s:
+            s.add("gemm_flops", 4.0 * num_subsets * n * p)
+            projections = phi @ u.T  # (n, m)
+            weighted = (mask_f.T * weights[:, None]) * projections
+            denom = np.where(sizes > 0, sizes, 1.0)
+            hs_u = (phi.T @ weighted) / denom[None, :] + ridge * u.T  # (p, m)
         correction = u - self.solver.solve_many(hs_u.T)
         rest = n - sizes
         deltas = u / rest[:, None] - (sizes / rest**2)[:, None] * correction
@@ -240,8 +264,8 @@ class SecondOrderInfluence(InfluenceEstimator):
             spectrum_hi = n * (eigvals[-1] + shifts)
             assured = (spectrum_hi > 0) & (gamma > _EXACT_RCOND * 1e3 * spectrum_hi)
             take = spectrum_ok & (ranks < p)
-            stats["fallback_size"] += int((ranks >= p).sum())
-            stats["fallback_cond"] += int((~spectrum_ok & (ranks < p)).sum())
+            stats.inc("fallback_size", int((ranks >= p).sum()))
+            stats.inc("fallback_cond", int((~spectrum_ok & (ranks < p)).sum()))
             wood = np.flatnonzero(take)
             if wood.size:
                 # Process the Woodbury subsets rank-sorted in power-of-two
@@ -255,7 +279,9 @@ class SecondOrderInfluence(InfluenceEstimator):
                 # the capacitance is the symmetric I − Tsq Tsqᵀ for
                 # Tsq = V Q diag(s), and only the finished Δθ's rotate back.
                 sqrt_inv = 1.0 / np.sqrt(n * (eigvals[None, :] + shifts[wood, None]))
-                g_hat = (block[wood].astype(np.float64) @ psg_rot) * sqrt_inv
+                with trace.span("influence.gemm", m=int(wood.size), n=n, p=p) as sp:
+                    sp.add("gemm_flops", 2.0 * wood.size * n * p)
+                    g_hat = (block[wood].astype(np.float64) @ psg_rot) * sqrt_inv
                 # np.nonzero walks the gathered mask rows in batch order, so
                 # the flat curvature rows line up with the rank-sorted
                 # subsets.
@@ -264,26 +290,32 @@ class SecondOrderInfluence(InfluenceEstimator):
                 wr = ranks[wood]
                 bad = np.zeros(wood.size, dtype=bool)
                 block_assured = bool(assured[wood].all())
-                lo = 0
-                while lo < wood.size:
-                    width = max(int(wr[lo]), 1)
-                    hi = int(np.searchsorted(wr, 2 * width, side="left"))
-                    hi = max(hi, lo + 1)
-                    bad[lo:hi] = self._exact_capacitance_correction(
-                        g_hat[lo:hi],
-                        sqrt_inv[lo:hi],
-                        phi_rot,
-                        cat[offsets[lo] : offsets[hi]],
-                        wr[lo:hi],
-                        block_assured,
-                    )
-                    lo = hi
-                stats["fallback_cond"] += int(bad.sum())
-                stats["woodbury"] += int((~bad).sum())
-                deltas[start + wood[~bad]] = (g_hat * sqrt_inv)[~bad] @ eigvecs.T
+                with trace.span("influence.capacitance", subsets=int(wood.size)):
+                    lo = 0
+                    while lo < wood.size:
+                        width = max(int(wr[lo]), 1)
+                        hi = int(np.searchsorted(wr, 2 * width, side="left"))
+                        hi = max(hi, lo + 1)
+                        bad[lo:hi] = self._exact_capacitance_correction(
+                            g_hat[lo:hi],
+                            sqrt_inv[lo:hi],
+                            phi_rot,
+                            cat[offsets[lo] : offsets[hi]],
+                            wr[lo:hi],
+                            block_assured,
+                        )
+                        lo = hi
+                stats.inc("fallback_cond", int(bad.sum()))
+                stats.inc("woodbury", int((~bad).sum()))
+                with trace.span("influence.gemm", m=int((~bad).sum()), n=p, p=p, kind="rotate") as sp:
+                    sp.add("gemm_flops", 2.0 * (~bad).sum() * p * p)
+                    deltas[start + wood[~bad]] = (g_hat * sqrt_inv)[~bad] @ eigvecs.T
                 take[wood[bad]] = False
-            for j in np.flatnonzero(~take):
-                deltas[start + j] = self.param_change(np.flatnonzero(block[j]))
+            fallback = np.flatnonzero(~take)
+            if fallback.size:
+                with trace.span("influence.dense_fallback", subsets=int(fallback.size)):
+                    for j in fallback:
+                        deltas[start + j] = self.param_change(np.flatnonzero(block[j]))
         return deltas
 
     def _exact_capacitance_correction(

@@ -46,9 +46,13 @@ built each exactly once — and that re-audits after an edit built nothing.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
+
 import numpy as np
 
 from repro.mining.bitset import pack_rows
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.patterns.candidates import iter_predicate_specs, normalize_exclude_features
 from repro.patterns.predicate import Predicate
 from repro.tabular import Table
@@ -76,12 +80,12 @@ class PredicateAlphabet:
         support_threshold: float,
         num_bins: int,
         exclude_features=None,
-        stats: dict[str, int] | None = None,
+        stats: MutableMapping[str, int] | None = None,
     ) -> None:
         self.support_threshold = float(support_threshold)
         self.num_bins = int(num_bins)
         self.exclude_features = normalize_exclude_features(exclude_features)
-        self._stats = stats if stats is not None else {}
+        self._stats = stats if stats is not None else StatsView(namespace="mining")
         self._stats.setdefault("tidlist_builds", 0)
         self._stats.setdefault("tidlist_patches", 0)
         self._stats.setdefault("skeleton_builds", 0)
@@ -92,13 +96,15 @@ class PredicateAlphabet:
 
     def _build(self, table: Table) -> None:
         """Evaluate every spec of ``table`` in canonical order — the full build."""
-        evaluated: dict[Predicate, np.ndarray] = {}
-        for predicate in iter_predicate_specs(table, self.num_bins, self.exclude_features):
-            if predicate not in evaluated:
-                evaluated[predicate] = predicate.mask(table)
-        self._evaluated = evaluated
-        self.num_rows = table.num_rows
-        self._filter_entries()
+        with trace.span("alphabet.build", rows=table.num_rows) as s:
+            evaluated: dict[Predicate, np.ndarray] = {}
+            for predicate in iter_predicate_specs(table, self.num_bins, self.exclude_features):
+                if predicate not in evaluated:
+                    evaluated[predicate] = predicate.mask(table)
+            self._evaluated = evaluated
+            self.num_rows = table.num_rows
+            self._filter_entries()
+            s.set(predicates=len(evaluated), entries=len(self.entries))
 
     def _filter_entries(self) -> None:
         """Re-run the support filter over ``_evaluated`` (canonical order)."""
@@ -154,7 +160,7 @@ class PredicateAlphabet:
             self._skeleton = None
         if self._miner_items is not None:
             self._miner_items = self._pack_items()
-            self._stats["tidlist_patches"] += 1
+            self._stats.inc("tidlist_patches")
 
     # ------------------------------------------------------------------
     def _pack_items(self) -> tuple[list[Predicate], np.ndarray]:
@@ -186,6 +192,7 @@ class PredicateAlphabet:
         if self._skeleton is None:
             from repro.patterns.pattern import Pattern
 
+            trace.add("cache_misses")
             predicates = [predicate for predicate, _ in self.entries]
             left: list[int] = []
             right: list[int] = []
@@ -208,7 +215,9 @@ class PredicateAlphabet:
                 np.array(right, dtype=np.int64),
                 patterns,
             )
-            self._stats["skeleton_builds"] += 1
+            self._stats.inc("skeleton_builds")
+        else:
+            trace.add("cache_hits")
         return self._skeleton
 
     def miner_items(self) -> tuple[list[Predicate], np.ndarray]:
@@ -221,8 +230,12 @@ class PredicateAlphabet:
         the order must be frequency-ascending with sort-key tie-breaks.
         """
         if self._miner_items is None:
-            self._miner_items = self._pack_items()
-            self._stats["tidlist_builds"] += 1
+            trace.add("cache_misses")
+            with trace.span("alphabet.pack_tidlists", entries=len(self.entries)):
+                self._miner_items = self._pack_items()
+            self._stats.inc("tidlist_builds")
+        else:
+            trace.add("cache_hits")
         return self._miner_items
 
     def warm(self, miner: bool = True, skeleton: bool = False) -> "PredicateAlphabet":
@@ -249,16 +262,20 @@ class AlphabetCache:
     after patching every cached alphabet in place.
     """
 
-    def __init__(self, table: Table) -> None:
+    def __init__(self, table: Table, metrics: MetricsRegistry | None = None) -> None:
         self.table = table
         self._alphabets: dict[tuple, PredicateAlphabet] = {}
-        self.stats = {
-            "alphabet_builds": 0,
-            "tidlist_builds": 0,
-            "skeleton_builds": 0,
-            "alphabet_patches": 0,
-            "tidlist_patches": 0,
-        }
+        self.stats = StatsView(
+            {
+                "alphabet_builds": 0,
+                "tidlist_builds": 0,
+                "skeleton_builds": 0,
+                "alphabet_patches": 0,
+                "tidlist_patches": 0,
+            },
+            registry=metrics,
+            namespace="mining",
+        )
 
     def get(
         self,
@@ -276,10 +293,13 @@ class AlphabetCache:
         exclude = normalize_exclude_features(exclude_features)
         key = (float(support_threshold), int(num_bins), exclude)
         if key not in self._alphabets:
+            trace.add("cache_misses")
             self._alphabets[key] = PredicateAlphabet(
                 self.table, support_threshold, num_bins, exclude, self.stats
             )
-            self.stats["alphabet_builds"] += 1
+            self.stats.inc("alphabet_builds")
+        else:
+            trace.add("cache_hits")
         return self._alphabets[key]
 
     def apply_edit(self, edit, new_table: Table) -> None:
@@ -293,8 +313,9 @@ class AlphabetCache:
         """
         if edit.changes_rows:
             for alphabet in self._alphabets.values():
-                alphabet.apply_edit(edit, new_table)
-                self.stats["alphabet_patches"] += 1
+                with trace.span("alphabet.patch", rows=new_table.num_rows):
+                    alphabet.apply_edit(edit, new_table)
+                self.stats.inc("alphabet_patches")
         self.table = new_table
 
     def check_table(self, table: Table) -> None:

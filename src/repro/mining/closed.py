@@ -94,6 +94,7 @@ import numpy as np
 from repro.influence.estimators import InfluenceEstimator
 from repro.mining.alphabet import PredicateAlphabet
 from repro.mining.bitset import covers_all, extent_key, pack_rows, popcount
+from repro.obs import trace
 from repro.patterns.lattice import LatticeLevelStats, PatternStats, _baseline, _parent_bar
 from repro.patterns.pattern import Pattern
 from repro.patterns.predicate import Predicate
@@ -157,17 +158,20 @@ class _InfluenceCache:
             if key not in self.by_key and key not in claimed:
                 claimed.add(key)
                 fresh.append(extent)
-        for start in range(0, len(fresh), self.batch_size):
-            chunk = fresh[start : start + self.batch_size]
-            packed = np.stack(chunk)
-            bias_changes = self.estimator.bias_change_batch(packed, num_rows=self.num_rows)
-            if self.baseline != 0.0:
-                responsibilities = -bias_changes / self.baseline
-            else:
-                responsibilities = np.zeros_like(bias_changes)
-            for extent, resp, dbias in zip(chunk, responsibilities, bias_changes):
-                self.by_key[extent_key(extent)] = (float(resp), float(dbias))
-            self.num_evaluated += len(chunk)
+        if not fresh:
+            return
+        with trace.span("mining.flush", extents=len(fresh)):
+            for start in range(0, len(fresh), self.batch_size):
+                chunk = fresh[start : start + self.batch_size]
+                packed = np.stack(chunk)
+                bias_changes = self.estimator.bias_change_batch(packed, num_rows=self.num_rows)
+                if self.baseline != 0.0:
+                    responsibilities = -bias_changes / self.baseline
+                else:
+                    responsibilities = np.zeros_like(bias_changes)
+                for extent, resp, dbias in zip(chunk, responsibilities, bias_changes):
+                    self.by_key[extent_key(extent)] = (float(resp), float(dbias))
+                self.num_evaluated += len(chunk)
 
     def lookup(self, extent: np.ndarray) -> tuple[float, float]:
         return self.by_key[extent_key(extent)]
@@ -343,64 +347,69 @@ def mine_closed_candidates(
     emitted_keys: set[bytes] = set()
     visited_keys: set[bytes] = set()
 
-    while pending or expandable:
-        if expandable and len(pending) < batch_size:
-            # Descend (LIFO keeps the frontier depth-first and the packed
-            # working set small) until a full buffer is ready to score.
-            pending.extend(children(expandable.pop()))
-            continue
-        batch = pending[:batch_size]
-        del pending[: len(batch)]
-        flush_start = time.perf_counter()
-        cache.evaluate([node.extent for node in batch])
-        flush_seconds = time.perf_counter() - flush_start
-        for node in batch:
-            key = extent_key(node.extent)
-            visited_keys.add(key)
-            seconds.add(node.depth, flush_seconds / len(batch))
-            node.responsibility, node.bias_change = cache.lookup(node.extent)
-            if prune_by_responsibility and node.responsibility <= node.bar:
-                # heuristic 2 — the whole subtree dies with it.  Record the
-                # defeat for the descent-bar cache unless another path
-                # already carried this extent through.
-                if key not in survived:
-                    defeated.add(key)
+    with trace.span("mining.frontier") as frontier_span:
+        while pending or expandable:
+            if expandable and len(pending) < batch_size:
+                # Descend (LIFO keeps the frontier depth-first and the packed
+                # working set small) until a full buffer is ready to score.
+                pending.extend(children(expandable.pop()))
                 continue
-            survived[key] = node.responsibility
-            defeated.discard(key)
-            survivors.add(node.depth, 1)
-            if node.responsibility >= min_responsibility:
-                if key not in emitted_keys:
-                    # The same extent can be revisited through another
-                    # branch; the representative is extent-determined, so
-                    # the first unpruned occurrence stands for all.
-                    emitted_keys.add(key)
-                    emitted.append(node)
-            if node.depth < max_predicates:
-                expandable.append(node)
-    num_closed = len(visited_keys)
+            batch = pending[:batch_size]
+            del pending[: len(batch)]
+            flush_start = time.perf_counter()
+            cache.evaluate([node.extent for node in batch])
+            flush_seconds = time.perf_counter() - flush_start
+            for node in batch:
+                key = extent_key(node.extent)
+                visited_keys.add(key)
+                seconds.add(node.depth, flush_seconds / len(batch))
+                node.responsibility, node.bias_change = cache.lookup(node.extent)
+                if prune_by_responsibility and node.responsibility <= node.bar:
+                    # heuristic 2 — the whole subtree dies with it.  Record the
+                    # defeat for the descent-bar cache unless another path
+                    # already carried this extent through.
+                    if key not in survived:
+                        defeated.add(key)
+                    continue
+                survived[key] = node.responsibility
+                defeated.discard(key)
+                survivors.add(node.depth, 1)
+                if node.responsibility >= min_responsibility:
+                    if key not in emitted_keys:
+                        # The same extent can be revisited through another
+                        # branch; the representative is extent-determined, so
+                        # the first unpruned occurrence stands for all.
+                        emitted_keys.add(key)
+                        emitted.append(node)
+                if node.depth < max_predicates:
+                    expandable.append(node)
+        num_closed = len(visited_keys)
+        frontier_span.set(
+            closed=num_closed, emitted=len(emitted), evaluated=cache.num_evaluated
+        )
     replay = _GeneratorReplay(
         predicates, tids, cache, max_predicates, prune_by_responsibility, max_responsibility
     )
     candidates = []
-    for node in emitted:
-        pattern = replay.representative(node)
-        if pattern is None:
-            # Every generator of this extent fails the lattice's strict
-            # improvement test against its own sub-patterns; Algorithm 1
-            # would not have emitted any pattern for it.
-            continue
-        candidates.append(
-            PatternStats(
-                pattern=pattern,
-                support=node.count / num_rows,
-                size=node.count,
-                responsibility=node.responsibility,
-                bias_change=node.bias_change,
-                _packed_mask=node.extent,
-                _num_rows=num_rows,
+    with trace.span("mining.replay", extents=len(emitted)):
+        for node in emitted:
+            pattern = replay.representative(node)
+            if pattern is None:
+                # Every generator of this extent fails the lattice's strict
+                # improvement test against its own sub-patterns; Algorithm 1
+                # would not have emitted any pattern for it.
+                continue
+            candidates.append(
+                PatternStats(
+                    pattern=pattern,
+                    support=node.count / num_rows,
+                    size=node.count,
+                    responsibility=node.responsibility,
+                    bias_change=node.bias_change,
+                    _packed_mask=node.extent,
+                    _num_rows=num_rows,
+                )
             )
-        )
     levels = [
         LatticeLevelStats(
             depth, int(survivors.get(depth)), int(tried.get(depth)), seconds.get(depth)

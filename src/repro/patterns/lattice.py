@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.influence.estimators import InfluenceEstimator
+from repro.obs import trace
 from repro.patterns.candidates import generate_single_predicates
 from repro.patterns.pattern import Pattern
 from repro.tabular import Table
@@ -215,35 +216,37 @@ def compute_candidates(
 
     # --- level 1 ---------------------------------------------------------
     start = time.perf_counter()
-    if alphabet is not None:
-        # Shared pre-built alphabet: full-coverage predicates (which would
-        # "remove the entire data") are already filtered out of entries.
-        entries = alphabet.entries
-        num_singles = alphabet.num_generated
-    else:
-        singles = generate_single_predicates(
-            table, support_threshold, num_bins, exclude_features
+    with trace.span("lattice.level", level=1) as level_span:
+        if alphabet is not None:
+            # Shared pre-built alphabet: full-coverage predicates (which would
+            # "remove the entire data") are already filtered out of entries.
+            entries = alphabet.entries
+            num_singles = alphabet.num_generated
+        else:
+            singles = generate_single_predicates(
+                table, support_threshold, num_bins, exclude_features
+            )
+            num_singles = len(singles)
+            # A full-coverage pattern would "remove the entire data" — the
+            # paper notes such patterns have no explanatory value, and no
+            # model can be retrained without any training rows.
+            entries = [(predicate, mask) for predicate, mask in singles if not mask.all()]
+        survivors: list[tuple[Pattern, np.ndarray]] = [
+            (Pattern([predicate]), mask) for predicate, mask in entries
+        ]
+        responsibilities, bias_changes = _evaluate_all(
+            estimator, [mask for _, mask in survivors], batch, batch_size
         )
-        num_singles = len(singles)
-        # A full-coverage pattern would "remove the entire data" — the
-        # paper notes such patterns have no explanatory value, and no
-        # model can be retrained without any training rows.
-        entries = [(predicate, mask) for predicate, mask in singles if not mask.all()]
-    survivors: list[tuple[Pattern, np.ndarray]] = [
-        (Pattern([predicate]), mask) for predicate, mask in entries
-    ]
-    responsibilities, bias_changes = _evaluate_all(
-        estimator, [mask for _, mask in survivors], batch, batch_size
-    )
-    num_evaluated = len(survivors)
-    current: list[tuple[Pattern, np.ndarray, int, float, float]] = []
-    for (pattern, mask), resp, dbias in zip(survivors, responsibilities, bias_changes):
-        current.append((pattern, mask, int(mask.sum()), resp, dbias))
-        if resp >= min_responsibility:
-            all_stats.append(_stats(pattern, mask, resp, dbias, num_rows))
-    levels.append(
-        LatticeLevelStats(1, len(current), num_singles, time.perf_counter() - start)
-    )
+        num_evaluated = len(survivors)
+        current: list[tuple[Pattern, np.ndarray, int, float, float]] = []
+        for (pattern, mask), resp, dbias in zip(survivors, responsibilities, bias_changes):
+            current.append((pattern, mask, int(mask.sum()), resp, dbias))
+            if resp >= min_responsibility:
+                all_stats.append(_stats(pattern, mask, resp, dbias, num_rows))
+        levels.append(
+            LatticeLevelStats(1, len(current), num_singles, time.perf_counter() - start)
+        )
+        level_span.set(candidates=len(current), evaluated=len(survivors))
 
     # Depth-2 searches are structurally replayable under data edits; record
     # the per-merge state the incremental re-audit needs (see LatticeRecord).
@@ -255,76 +258,86 @@ def compute_candidates(
     level = 2
     while current and level <= max_predicates:
         start = time.perf_counter()
-        merges_tried = 0
-        seen: set[Pattern] = set()
-        # Gather phase: structural pruning only (dedup, satisfiability,
-        # support).  Influence is deferred so the whole level is one batch.
-        # A merge whose row set collapses onto one parent's (a redundant
-        # predicate) has *exactly* that parent's responsibility, so the
-        # parent's evaluation is reused — the influence query would only
-        # reproduce it up to floating-point noise, and the strict pruning
-        # comparison must not hinge on that noise.
-        merged_survivors: list[
-            tuple[Pattern, np.ndarray, int, float, tuple[float, float] | None, int, int, int]
-        ] = []
-        for i_a, i_b in _mergeable_pairs(current):
-            pattern_a, mask_a, size_a, resp_a, dbias_a = current[i_a]
-            pattern_b, mask_b, size_b, resp_b, dbias_b = current[i_b]
-            merges_tried += 1
-            merged = pattern_a.merge(pattern_b)
-            if len(merged) != level or merged in seen:
-                continue
-            seen.add(merged)
-            if not merged.is_satisfiable():
-                continue
-            mask = mask_a & mask_b
-            size = int(mask.sum())
-            support = size / num_rows
-            if support <= support_threshold:
-                continue
-            if size == size_a:  # mask ⊆ mask_a, so equal sizes ⇒ equal sets
-                known, known_code = (resp_a, dbias_a), 1
-            elif size == size_b:
-                known, known_code = (resp_b, dbias_b), 2
-            else:
-                known, known_code = None, 0
-            merged_survivors.append(
-                (
-                    merged,
-                    mask,
-                    size,
-                    _parent_bar(resp_a, resp_b, max_responsibility),
-                    known,
-                    i_a,
-                    i_b,
-                    known_code,
+        with trace.span("lattice.level", level=level) as level_span:
+            merges_tried = 0
+            seen: set[Pattern] = set()
+            # Gather phase: structural pruning only (dedup, satisfiability,
+            # support).  Influence is deferred so the whole level is one batch.
+            # A merge whose row set collapses onto one parent's (a redundant
+            # predicate) has *exactly* that parent's responsibility, so the
+            # parent's evaluation is reused — the influence query would only
+            # reproduce it up to floating-point noise, and the strict pruning
+            # comparison must not hinge on that noise.
+            merged_survivors: list[
+                tuple[Pattern, np.ndarray, int, float, tuple[float, float] | None, int, int, int]
+            ] = []
+            with trace.span("lattice.gather"):
+                for i_a, i_b in _mergeable_pairs(current):
+                    pattern_a, mask_a, size_a, resp_a, dbias_a = current[i_a]
+                    pattern_b, mask_b, size_b, resp_b, dbias_b = current[i_b]
+                    merges_tried += 1
+                    merged = pattern_a.merge(pattern_b)
+                    if len(merged) != level or merged in seen:
+                        continue
+                    seen.add(merged)
+                    if not merged.is_satisfiable():
+                        continue
+                    mask = mask_a & mask_b
+                    size = int(mask.sum())
+                    support = size / num_rows
+                    if support <= support_threshold:
+                        continue
+                    if size == size_a:  # mask ⊆ mask_a, so equal sizes ⇒ equal sets
+                        known, known_code = (resp_a, dbias_a), 1
+                    elif size == size_b:
+                        known, known_code = (resp_b, dbias_b), 2
+                    else:
+                        known, known_code = None, 0
+                    merged_survivors.append(
+                        (
+                            merged,
+                            mask,
+                            size,
+                            _parent_bar(resp_a, resp_b, max_responsibility),
+                            known,
+                            i_a,
+                            i_b,
+                            known_code,
+                        )
+                    )
+
+            # Evaluate phase: one batched influence query per chunk.
+            to_evaluate = [row[1] for row in merged_survivors if row[4] is None]
+            responsibilities, bias_changes = _evaluate_all(
+                estimator, to_evaluate, batch, batch_size
+            )
+            num_evaluated += len(to_evaluate)
+
+            # Prune phase: heuristic 2 against the recorded parent bars.
+            next_level = []
+            evaluated = iter(zip(responsibilities, bias_changes))
+            with trace.span("lattice.prune"):
+                for merged, mask, size, bar, known, i_a, i_b, known_code in merged_survivors:
+                    resp, dbias = known if known is not None else next(evaluated)
+                    in_result = False
+                    if not (prune_by_responsibility and resp <= bar):
+                        next_level.append((merged, mask, size, resp, dbias))
+                        if resp >= min_responsibility:
+                            all_stats.append(_stats(merged, mask, resp, dbias, num_rows))
+                            in_result = True
+                    if recording and level == 2:
+                        rec_pairs.append(
+                            (i_a, i_b, size, known_code, float(resp), float(dbias), in_result)
+                        )
+
+            levels.append(
+                LatticeLevelStats(
+                    level, len(next_level), merges_tried, time.perf_counter() - start
                 )
             )
-
-        # Evaluate phase: one batched influence query per chunk.
-        to_evaluate = [row[1] for row in merged_survivors if row[4] is None]
-        responsibilities, bias_changes = _evaluate_all(estimator, to_evaluate, batch, batch_size)
-        num_evaluated += len(to_evaluate)
-
-        # Prune phase: heuristic 2 against the recorded parent bars.
-        next_level = []
-        evaluated = iter(zip(responsibilities, bias_changes))
-        for merged, mask, size, bar, known, i_a, i_b, known_code in merged_survivors:
-            resp, dbias = known if known is not None else next(evaluated)
-            in_result = False
-            if not (prune_by_responsibility and resp <= bar):
-                next_level.append((merged, mask, size, resp, dbias))
-                if resp >= min_responsibility:
-                    all_stats.append(_stats(merged, mask, resp, dbias, num_rows))
-                    in_result = True
-            if recording and level == 2:
-                rec_pairs.append(
-                    (i_a, i_b, size, known_code, float(resp), float(dbias), in_result)
-                )
-
-        levels.append(
-            LatticeLevelStats(level, len(next_level), merges_tried, time.perf_counter() - start)
-        )
+            level_span.set(
+                candidates=len(next_level), merges=merges_tried, evaluated=len(to_evaluate)
+            )
         current = next_level
         level += 1
 

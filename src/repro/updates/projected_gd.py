@@ -53,6 +53,7 @@ from repro.fairness.metrics import FairnessContext, FairnessMetric
 from repro.influence.one_step_gd import auto_learning_rate
 from repro.influence.parallel import RetrainTask, retrain_thetas
 from repro.models.base import TwiceDifferentiableClassifier
+from repro.obs import trace
 from repro.patterns.pattern import Pattern
 from repro.updates.domain import UpdateDomain
 from repro.updates.perturbation import describe_update
@@ -230,10 +231,13 @@ class UpdateSearchContext:
         self.test_ctx = test_ctx
         self.theta = np.asarray(model.theta, dtype=np.float64)
         self.num_train = len(self.X_train)
-        self.grad_f = metric.grad_theta(model, test_ctx)
-        self.original_bias = float(metric.value(model, test_ctx))
-        self.hessian = model.hessian(self.X_train, self.y_train)
-        self.learning_rate = auto_learning_rate(self.hessian)
+        with trace.span(
+            "update.context", n=self.num_train, metric=metric.name
+        ):
+            self.grad_f = metric.grad_theta(model, test_ctx)
+            self.original_bias = float(metric.value(model, test_ctx))
+            self.hessian = model.hessian(self.X_train, self.y_train)
+            self.learning_rate = auto_learning_rate(self.hessian)
         self._train_grads: np.ndarray | None = None
 
     @property
@@ -339,37 +343,46 @@ def find_update_explanations(
         )
 
     start = time.perf_counter()
-    domains, deltas = [], []
-    for pattern, indices in zip(patterns, subsets):
-        subset_X = context.X_train[indices]
-        subset_y = context.y_train[indices]
-        allowed = allowed_features if allowed_features is not None else pattern.features()
-        domain = UpdateDomain(encoder, subset_X, allowed)
-        ascend = _ascend_batch if batch else _ascend_loop
-        deltas.append(
-            ascend(
-                model, subset_X, subset_y, context.ascent_grad_f, domain,
-                learning_rate, num_steps, use_input_grads=use_input_grads and batch,
-            )
-        )
-        domains.append(domain)
-    score = _score_backoff_batch if batch else _score_backoff_loop
-    best_rows, best_changes = score(context, domains, subsets, deltas)
+    with trace.span("update.search", patterns=len(patterns), steps=num_steps):
+        domains, deltas = [], []
+        for pattern, indices in zip(patterns, subsets):
+            subset_X = context.X_train[indices]
+            subset_y = context.y_train[indices]
+            allowed = allowed_features if allowed_features is not None else pattern.features()
+            domain = UpdateDomain(encoder, subset_X, allowed)
+            ascend = _ascend_batch if batch else _ascend_loop
+            with trace.span(
+                "update.ascent", rows=int(indices.size), features=len(allowed)
+            ):
+                deltas.append(
+                    ascend(
+                        model, subset_X, subset_y, context.ascent_grad_f, domain,
+                        learning_rate, num_steps,
+                        use_input_grads=use_input_grads and batch,
+                    )
+                )
+            domains.append(domain)
+        score = _score_backoff_batch if batch else _score_backoff_loop
+        with trace.span(
+            "update.score", scales=len(_BACKOFF_SCALES) * len(patterns)
+        ):
+            best_rows, best_changes = score(context, domains, subsets, deltas)
     search_seconds = time.perf_counter() - start
 
     verify_seconds = 0.0
     gt_changes: list[float | None] = [None] * len(patterns)
     if verify:
         start = time.perf_counter()
-        tasks = [
-            RetrainTask(indices, rows) for indices, rows in zip(subsets, best_rows)
-        ]
-        thetas = retrain_thetas(
-            model, context.X_train, context.y_train, tasks,
-            warm_start=context.theta, n_jobs=n_jobs if batch else 1,
-        )
-        after = metric.value_batch(model, test_ctx, thetas)
-        gt_changes = [float(a - context.original_bias) for a in after]
+        with trace.span("update.verify", retrains=len(subsets)):
+            tasks = [
+                RetrainTask(indices, rows) for indices, rows in zip(subsets, best_rows)
+            ]
+            thetas = retrain_thetas(
+                model, context.X_train, context.y_train, tasks,
+                warm_start=context.theta, n_jobs=n_jobs if batch else 1,
+            )
+            after = metric.value_batch(model, test_ctx, thetas)
+            gt_changes = [float(a - context.original_bias) for a in after]
         verify_seconds = time.perf_counter() - start
 
     updates = []

@@ -1,14 +1,25 @@
-"""Lightweight wall-clock timing used by the benchmark harness."""
+"""Lightweight wall-clock timing used by the benchmark harness.
+
+Both helpers read :data:`repro.obs.trace.clock` (``time.perf_counter``),
+the same clock the tracer stamps spans with, so benchmark timings and
+trace durations are directly comparable.
+"""
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 from typing import Any
+
+from repro.obs.trace import clock
 
 
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
+
+    Exception contract: ``elapsed`` is recorded even when the body
+    raises — ``__exit__`` always stamps the clock, so a ``try``/
+    ``except`` around the ``with`` block can still read how long the
+    failed attempt ran.
 
     Example
     -------
@@ -23,16 +34,22 @@ class Timer:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+        self.start = clock()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self.start is not None:
-            self.elapsed = time.perf_counter() - self.start
+            self.elapsed = clock() - self.start
 
 
 def timed(func: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, float]:
-    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    """Call ``func`` and return ``(result, elapsed_seconds)``.
+
+    Exception contract: unlike :class:`Timer`, an exception propagates
+    out of ``timed`` *before* the tuple is built, so the caller gets
+    neither the partial result nor the elapsed time — wrap the call in
+    :class:`Timer` directly when the duration of a failed call matters.
+    """
     with Timer() as timer:
         result = func(*args, **kwargs)
     return result, timer.elapsed

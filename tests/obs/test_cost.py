@@ -1,0 +1,93 @@
+"""Tests for repro.obs.cost: FLOP models and CostReport aggregation."""
+
+import pytest
+
+from repro.obs import CostReport, Tracer, gemm_flops, solve_flops
+
+
+def test_flop_models():
+    assert gemm_flops(10, 20, 30) == 2.0 * 10 * 20 * 30
+    assert solve_flops(50, 3) == 2.0 * 50 * 50 * 3
+
+
+def _query_span():
+    tracer = Tracer()
+    with tracer.span("audit.query", metric="spd") as q:
+        with tracer.span("influence.batch") as batch:
+            batch.add("gemm_flops", gemm_flops(100, 50, 25))
+            batch.add("evaluations", 40)
+            with tracer.span("hessian.solve") as solve:
+                solve.add("solve_flops", solve_flops(50, 25))
+        with tracer.span("artifacts.grads") as grads:
+            grads.add("cache_hits", 7)
+            grads.add("cache_misses", 1)
+    return q
+
+
+class TestFromSpan:
+    def test_totals_summed_over_subtree(self):
+        report = CostReport.from_span(_query_span())
+        assert report.name == "audit.query"
+        assert report.gemm_flops == gemm_flops(100, 50, 25)
+        assert report.solve_flops == solve_flops(50, 25)
+        assert report.total_flops == report.gemm_flops + report.solve_flops
+        assert report.influence_evaluations == 40
+        assert report.cache_hits == 7
+        assert report.cache_misses == 1
+        assert report.cache_hit_ratio == pytest.approx(7 / 8)
+        assert report.wall_seconds > 0
+
+    def test_lines_aggregate_per_name_sorted_by_self_time(self):
+        report = CostReport.from_span(_query_span())
+        names = {line.name for line in report.lines}
+        assert names == {"audit.query", "influence.batch", "hessian.solve", "artifacts.grads"}
+        self_times = [line.self_seconds for line in report.lines]
+        assert self_times == sorted(self_times, reverse=True)
+        for line in report.lines:
+            assert line.count == 1
+            assert line.self_seconds <= line.total_seconds
+
+    def test_repeated_span_names_fold_into_one_line(self):
+        tracer = Tracer()
+        with tracer.span("q") as q:
+            for level in (1, 2, 3):
+                with tracer.span("lattice.level", level=level):
+                    pass
+        report = CostReport.from_span(q)
+        (line,) = [row for row in report.lines if row.name == "lattice.level"]
+        assert line.count == 3
+
+    def test_leaf_fraction_all_leaf_time_counted(self):
+        report = CostReport.from_span(_query_span())
+        assert 0.0 < report.leaf_fraction <= 1.0
+
+    def test_bool_attrs_do_not_pollute_totals(self):
+        tracer = Tracer()
+        with tracer.span("q") as q:
+            q.set(cache_hits=True)  # a flag, not a count
+        report = CostReport.from_span(q)
+        assert report.cache_hits == 0
+
+    def test_empty_span_zero_division_safe(self):
+        report = CostReport()
+        assert report.cache_hit_ratio == 0.0
+        assert report.leaf_fraction == 0.0
+        assert report.total_flops == 0.0
+
+
+class TestExports:
+    def test_to_dict_round_trip(self):
+        doc = CostReport.from_span(_query_span()).to_dict()
+        assert doc["name"] == "audit.query"
+        assert doc["gemm_flops"] > 0 and doc["solve_flops"] > 0
+        assert doc["cache_hit_ratio"] == pytest.approx(7 / 8)
+        assert {line["name"] for line in doc["lines"]} >= {"audit.query", "hessian.solve"}
+
+    def test_render_header_and_table(self):
+        text = CostReport.from_span(_query_span()).render()
+        assert "audit.query" in text
+        assert "FLOP" in text
+        assert "40 influence evaluations" in text
+        assert "cache 7 hit / 1 miss" in text
+        assert "hessian.solve" in text
+        assert "%" in text

@@ -25,6 +25,24 @@ class TestTimer:
         assert t.elapsed >= 0.004
 
 
+    def test_reenter_overwrites_previous_elapsed(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed < first
+
+    def test_uses_the_tracer_clock(self):
+        # Timer and the span tracer must share one clock so benchmark
+        # timings and trace durations are directly comparable.
+        from repro.obs import trace
+        from repro.utils import timing
+
+        assert timing.clock is trace.clock
+
+
 class TestTimed:
     def test_returns_result_and_seconds(self):
         result, seconds = timed(lambda x: x * 2, 21)
@@ -34,3 +52,16 @@ class TestTimed:
     def test_kwargs_forwarded(self):
         result, _ = timed(lambda a, b=1: a + b, 1, b=5)
         assert result == 6
+
+    def test_exception_propagates_without_result_or_elapsed(self):
+        # The documented contract: unlike Timer, a raising callable gives
+        # the caller neither the partial result nor the elapsed time.
+        def boom():
+            raise RuntimeError("boom")
+
+        try:
+            timed(boom)
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - the raise must propagate
+            raise AssertionError("timed() swallowed the exception")

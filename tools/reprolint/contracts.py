@@ -172,5 +172,10 @@ REPRO_CONTRACTS = ContractSet(
         ("AuditSession", "warm"): BuildContract(
             None, reason="eager driver: every build it triggers is counted by its own entry"
         ),
+        ("AuditSession", "audit"): BuildContract(
+            None,
+            reason="read path except for the last-audit bookmark delta_audit diffs "
+            "against; both bookmark writes happen under the session lock",
+        ),
     },
 )

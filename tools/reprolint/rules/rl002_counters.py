@@ -19,15 +19,23 @@ from tools.reprolint.model import FunctionInfo, Project
 
 
 def _declared_counters(project: Project) -> set[str]:
-    """Counter keys declared in stats-dict literals or setdefault calls."""
+    """Counter keys declared in stats-dict literals or setdefault calls.
+
+    A dict literal anywhere inside the assigned value counts, so registry-
+    backed declarations like ``self.stats = StatsView({"builds": 0}, ...)``
+    declare their keys exactly as the plain ``self.stats = {"builds": 0}``
+    form always has.
+    """
     declared: set[str] = set()
     for module in project.modules.values():
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            if isinstance(node, ast.Assign):
                 if any("stats" in ast.unparse(t).lower() for t in node.targets):
-                    for key in node.value.keys:
-                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                            declared.add(key.value)
+                    for inner in ast.walk(node.value):
+                        if isinstance(inner, ast.Dict):
+                            for key in inner.keys:
+                                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                                    declared.add(key.value)
             elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
                 if node.func.attr == "setdefault" and "stats" in ast.unparse(node.func.value).lower():
                     if node.args and isinstance(node.args[0], ast.Constant):
@@ -36,19 +44,37 @@ def _declared_counters(project: Project) -> set[str]:
     return declared
 
 
+def _container_matches(container: str, stats_attr: str) -> bool:
+    return container == f"self.{stats_attr}" or container.endswith("." + stats_attr)
+
+
 def _bumps_counter(fn: FunctionInfo, stats_attr: str, counter: str) -> bool:
+    """True when the method bumps the counter, by either idiom.
+
+    Both the dict-style ``self.<stats_attr>["<counter>"] += n`` and the
+    registry-backed ``self.<stats_attr>.inc("<counter>", ...)`` satisfy the
+    discipline: each is an exactly-once, named, observable increment.
+    """
     for node in ast.walk(fn.node):
-        if not isinstance(node, ast.AugAssign):
-            continue
-        target = node.target
-        if not isinstance(target, ast.Subscript):
-            continue
-        key = target.slice
-        if not (isinstance(key, ast.Constant) and key.value == counter):
-            continue
-        container = ast.unparse(target.value)
-        if container == f"self.{stats_attr}" or container.endswith("." + stats_attr):
-            return True
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if not isinstance(target, ast.Subscript):
+                continue
+            key = target.slice
+            if not (isinstance(key, ast.Constant) and key.value == counter):
+                continue
+            if _container_matches(ast.unparse(target.value), stats_attr):
+                return True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr != "inc":
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and first.value == counter):
+                continue
+            if _container_matches(ast.unparse(node.func.value), stats_attr):
+                return True
     return False
 
 

@@ -1,0 +1,32 @@
+"""RL002 negative fixture: registry-backed counters satisfy the discipline.
+
+The build method bumps via ``self.stats.inc("builds")`` instead of the
+dict-style ``+=``, and the counter is declared inside a ``StatsView``
+dict-literal argument rather than a bare stats dict — both forms the rule
+must accept.  ``broken`` bumps a counter that is neither the registered
+one nor declared anywhere, so one seeded violation stays visible.
+"""
+
+
+class StatsView(dict):
+    def __init__(self, counters, *, registry=None, namespace=""):
+        super().__init__(counters)
+
+    def inc(self, key, n=1):
+        self[key] = self.get(key, 0) + n
+
+
+class Registry:
+    def __init__(self):
+        self.stats = StatsView({"builds": 0}, namespace="registry")
+        self._value = None
+
+    def build(self):
+        self._value = 1
+        self.stats.inc("builds")
+        return self._value
+
+    def broken(self):
+        self._value = 2
+        self.stats.inc("wrong_counter")
+        return self._value

@@ -82,6 +82,24 @@ def test_rl002_clean_when_counter_bumped_and_declared():
     assert analyze("rl002_good.py", RL002_GOOD, RL002) == []
 
 
+RL002_REGISTRY = ContractSet(
+    build_methods={
+        ("Registry", "build"): BuildContract("builds"),
+        ("Registry", "broken"): BuildContract("never_bumped"),
+    },
+)
+
+
+def test_rl002_accepts_registry_backed_inc_and_statsview_declaration():
+    findings = analyze("rl002_registry.py", RL002_REGISTRY, RL002)
+    # build() is clean: stats.inc("builds") bumps, StatsView({...}) declares.
+    assert not any("Registry.build" in f.message for f in findings)
+    messages = [f.message for f in findings]
+    assert any('never bumps self.stats["never_bumped"]' in m for m in messages)
+    assert any('counter "never_bumped" of Registry.broken is not declared' in m for m in messages)
+    assert len(findings) == 2
+
+
 # -- RL003 ---------------------------------------------------------------
 
 

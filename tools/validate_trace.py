@@ -1,0 +1,158 @@
+"""Validate a ``repro`` trace file: ``python -m tools.validate_trace trace.json``.
+
+The file is the combined export :meth:`repro.obs.Tracer.export` writes via
+``explain --trace-out`` — Chrome ``trace_event`` complete events under
+``traceEvents`` (what Perfetto loads) merged with the structured span
+forest under ``spans``.  The validator is stdlib-only so CI can run it
+without the package on ``PYTHONPATH``.
+
+Checks
+------
+* well-formed JSON object with ``schema_version == 1``
+* ``traceEvents``: a non-empty list of complete ("X") events, each with
+  the required keys and non-negative numeric ``ts``/``dur``
+* balanced nesting per ``tid``: on any one thread, two events either
+  nest properly or are disjoint — a partial overlap means a span escaped
+  its parent, which the span protocol forbids
+* the structured span forest agrees: children lie inside their parent's
+  window, ``span_count`` matches the actual tree size, and the Chrome
+  event list covers every structured span
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Slack for float round-off when comparing microsecond timestamps that
+#: were converted from the same monotonic clock readings.
+_EPS_US = 0.5
+
+_REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+class TraceError(Exception):
+    """One validation failure, formatted for the CI log."""
+
+
+def _fail(message: str) -> None:
+    raise TraceError(message)
+
+
+def _check_events(events: object) -> dict[int, int]:
+    """Validate event well-formedness; return per-tid complete-event counts."""
+    if not isinstance(events, list):
+        _fail(f"traceEvents must be a list, got {type(events).__name__}")
+    complete: dict[int, list[tuple[float, float, str]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            _fail(f"traceEvents[{i}] is not an object")
+        if event.get("ph") != "X":
+            continue  # other phases (metadata etc.) are legal, just untyped here
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                _fail(f"traceEvents[{i}] ({event.get('name')!r}) missing key {key!r}")
+        ts, dur = event["ts"], event["dur"]
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            _fail(f"traceEvents[{i}] has non-numeric ts/dur")
+        if ts < 0 or dur < 0:
+            _fail(f"traceEvents[{i}] has negative ts/dur ({ts}, {dur})")
+        if not isinstance(event["args"], dict):
+            _fail(f"traceEvents[{i}] args must be an object")
+        complete.setdefault(event["tid"], []).append((ts, ts + dur, event["name"]))
+    if not complete:
+        _fail("no complete ('X') events in traceEvents")
+    for tid, spans in complete.items():
+        _check_nesting(tid, spans)
+    return {tid: len(spans) for tid, spans in complete.items()}
+
+
+def _check_nesting(tid: int, spans: list[tuple[float, float, str]]) -> None:
+    """Events on one thread must either nest properly or be disjoint."""
+    # Sort by start ascending, then end descending, so a parent precedes
+    # the children sharing its start timestamp.
+    stack: list[tuple[float, float, str]] = []
+    for start, end, name in sorted(spans, key=lambda s: (s[0], -s[1])):
+        while stack and start >= stack[-1][1] - _EPS_US:
+            stack.pop()
+        if stack and end > stack[-1][1] + _EPS_US:
+            _fail(
+                f"unbalanced nesting on tid {tid}: {name!r} "
+                f"[{start:.1f}, {end:.1f}]us overlaps the end of "
+                f"{stack[-1][2]!r} [{stack[-1][0]:.1f}, {stack[-1][1]:.1f}]us"
+            )
+        stack.append((start, end, name))
+
+
+def _check_span_tree(span: object, path: str) -> int:
+    """Validate one structured span subtree; return its node count."""
+    if not isinstance(span, dict):
+        _fail(f"{path} is not an object")
+    for key in ("name", "start", "duration", "tid", "attrs", "children"):
+        if key not in span:
+            _fail(f"{path} missing key {key!r}")
+    start, duration = span["start"], span["duration"]
+    if not isinstance(start, (int, float)) or not isinstance(duration, (int, float)):
+        _fail(f"{path} has non-numeric start/duration")
+    if duration < 0:
+        _fail(f"{path} has negative duration")
+    count = 1
+    end = start + duration
+    for j, child in enumerate(span["children"]):
+        child_path = f"{path}.children[{j}]"
+        count += _check_span_tree(child, child_path)
+        c_start = child["start"]
+        c_end = c_start + child["duration"]
+        if c_start < start - _EPS_US * 1e-6 or c_end > end + _EPS_US * 1e-6:
+            _fail(
+                f"{child_path} ({child['name']!r}) escapes its parent's window: "
+                f"[{c_start:.6f}, {c_end:.6f}]s outside [{start:.6f}, {end:.6f}]s"
+            )
+    return count
+
+
+def validate(doc: object) -> str:
+    """Validate a parsed trace document; return a one-line summary."""
+    if not isinstance(doc, dict):
+        _fail(f"trace root must be an object, got {type(doc).__name__}")
+    if doc.get("schema_version") != 1:
+        _fail(f"unsupported schema_version {doc.get('schema_version')!r} (expected 1)")
+    per_tid = _check_events(doc.get("traceEvents"))
+    spans = doc.get("spans")
+    if not isinstance(spans, list) or not spans:
+        _fail("structured 'spans' forest is missing or empty")
+    total = sum(_check_span_tree(root, f"spans[{i}]") for i, root in enumerate(spans))
+    declared = doc.get("span_count")
+    if declared != total:
+        _fail(f"span_count says {declared} but the spans forest holds {total}")
+    events = sum(per_tid.values())
+    if events != total:
+        _fail(f"{events} complete events vs {total} structured spans")
+    tids = ", ".join(f"tid {tid}: {n}" for tid, n in sorted(per_tid.items()))
+    return f"ok: {total} spans, nesting balanced ({tids})"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m tools.validate_trace TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"validate_trace: {argv[0]}: {error}", file=sys.stderr)
+        return 1
+    try:
+        summary = validate(doc)
+    except TraceError as error:
+        print(f"validate_trace: {argv[0]}: {error}", file=sys.stderr)
+        return 1
+    print(f"validate_trace: {argv[0]}: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
