@@ -22,6 +22,7 @@ Examples
     python -m repro explain --dataset german --model logistic_regression -k 3
     python -m repro explain --dataset adult --metric equal_opportunity --updates
     python -m repro explain --dataset german --audit -k 3 --no-verify
+    python -m repro explain --dataset german --audit --updates --no-verify
     python -m repro explain --dataset german --audit --no-verify --edit remove:10
     python -m repro report --dataset sqf
     python -m repro detect --dataset german --poison-fraction 0.1
@@ -76,7 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--no-verify", action="store_true",
                          help="skip ground-truth retraining of the winners")
     explain.add_argument("--updates", action="store_true",
-                         help="also compute update-based explanations (Section 5)")
+                         help="also compute update-based explanations (Section 5); "
+                         "with --audit, repairs every query's explanations through "
+                         "per-metric explainer views sharing one update context")
     explain.add_argument("--audit", action="store_true",
                          help="run every registered fairness metric through one "
                          "artifact-cached AuditSession (one start-up, many queries) "
@@ -143,14 +146,6 @@ def _explain_impl(args: argparse.Namespace, tracer: Tracer | None) -> int:
         )
         return 2
     if args.audit:
-        if args.updates:
-            print(
-                "error: --updates computes Section-5 repairs for one metric's "
-                "explanations and cannot be combined with --audit; run "
-                "'explain --updates' with the metric you want to repair",
-                file=sys.stderr,
-            )
-            return 2
         session = AuditSession(
             bundle.model,
             metric=args.metric,
@@ -164,6 +159,18 @@ def _explain_impl(args: argparse.Namespace, tracer: Tracer | None) -> int:
         print()
         result = session.audit(k=args.k, verify=not args.no_verify)
         print(result.render())
+        if args.updates:
+            # Per-metric explainer views all ride the session's shared
+            # update context: the Hessian/η half is built once for the
+            # whole audit, each view adds only its ∇F.
+            for query in result.queries:
+                view = session.explainer(metric=query.metric, group=query.group)
+                updates = view.explain_updates(
+                    query.explanations, verify=not args.no_verify
+                )
+                print()
+                print(f"[{query.describe()}]")
+                print(updates.render())
         if args.edit is not None:
             try:
                 kind, _, count_text = args.edit.partition(":")

@@ -264,14 +264,22 @@ class GopherExplainer:
         )
 
     def _update_context(self):
-        """The §5 start-up state (∇F, Hessian, η, train grads), built once."""
+        """The §5 start-up state (∇F, Hessian, η, train grads), built once.
+
+        The metric-independent half rides the session's shared
+        ``ModelArtifacts`` (one ``update.context`` build per audit however
+        many explainer views run ``explain_updates``); only ∇F and the
+        original bias are computed per view.
+        """
         if self._update_ctx is None:
             from repro.updates.projected_gd import UpdateSearchContext
 
             assert self.train_data is not None and self.X_train is not None
             assert self.test_ctx is not None
             self._update_ctx = UpdateSearchContext(
-                self.model, self.X_train, self.train_data.labels, self.metric, self.test_ctx
+                self.model, self.X_train, self.train_data.labels, self.metric,
+                self.test_ctx,
+                artifacts=None if self.session is None else self.session.artifacts,
             )
         return self._update_ctx
 

@@ -409,6 +409,10 @@ class AuditSession:
         self.artifacts = ModelArtifacts(
             self.model, self.X_train, train.labels, metrics=self.metrics
         )
+        # Sessions answer many queries over metric-independent candidate
+        # masks, so cross-metric extent caching (g_S gradient sums and
+        # per-estimator-spec Δθ rows) pays; bare estimators keep it off.
+        self.artifacts.enable_extent_caching()
         self.alphabet_cache = AlphabetCache(train.table, metrics=self.metrics)
         self._contexts = {}
         self.last_audit = None

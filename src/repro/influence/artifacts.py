@@ -29,6 +29,8 @@ multi-query workload paid for each exactly once.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.influence.hessian import HessianSolver
@@ -74,6 +76,18 @@ class ModelArtifacts:
         self._factors: tuple[np.ndarray, np.ndarray, float] | None | str = "unset"
         self._exact_rot: dict[float, tuple[np.ndarray, np.ndarray]] = {}
         self._auto_learning_rate: float | None = None
+        # Extent caches: packed-mask bytes → metric-independent per-row
+        # results (g_S gradient sums; per-estimator-spec Δθ rows).  Off by
+        # default so bare estimators keep per-instance accounting; sessions
+        # switch them on via enable_extent_caching().
+        self._extent_caching = False
+        self._grad_sum_cache: dict[bytes, np.ndarray] = {}
+        self._param_change_cache: dict[tuple, np.ndarray] = {}
+        self._update_state: tuple[np.ndarray, float] | None = None
+        # One re-entrant lock covers every lazy build and extent cache, so a
+        # cold bundle can serve mixed concurrent queries: exact_rotation
+        # re-enters hessian_factors/solver/per_sample_grads while held.
+        self._lock = threading.RLock()
         # Monotone staleness token: bumped by apply_edit.  Estimators record
         # it at construction and refuse to score once it moves on.
         self.version = 0
@@ -88,6 +102,11 @@ class ModelArtifacts:
                 "edits": 0,
                 "solver_updates": 0,
                 "exact_rotation_patches": 0,
+                "gradient_sum_cache_hits": 0,
+                "gradient_sum_cache_misses": 0,
+                "param_change_cache_hits": 0,
+                "param_change_cache_misses": 0,
+                "update_context_builds": 0,
             },
             registry=metrics,
             namespace="influence",
@@ -135,12 +154,16 @@ class ModelArtifacts:
     def per_sample_grads(self) -> np.ndarray:
         """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) — built once."""
         if self._per_sample_grads is None:
-            trace.add("cache_misses")
-            with trace.span("artifacts.per_sample_grads", n=self.num_train):
-                self._per_sample_grads = self.model.per_sample_grads(
-                    self.X_train, self.y_train
-                )
-            self.stats.inc("per_sample_grad_builds")
+            with self._lock:
+                if self._per_sample_grads is None:
+                    trace.add("cache_misses")
+                    with trace.span("artifacts.per_sample_grads", n=self.num_train):
+                        self._per_sample_grads = self.model.per_sample_grads(
+                            self.X_train, self.y_train
+                        )
+                    self.stats.inc("per_sample_grad_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._per_sample_grads
@@ -149,10 +172,14 @@ class ModelArtifacts:
     def hessian(self) -> np.ndarray:
         """The mean training Hessian H(θ*) — built once."""
         if self._hessian is None:
-            trace.add("cache_misses")
-            with trace.span("artifacts.hessian", n=self.num_train):
-                self._hessian = self.model.hessian(self.X_train, self.y_train)
-            self.stats.inc("hessian_builds")
+            with self._lock:
+                if self._hessian is None:
+                    trace.add("cache_misses")
+                    with trace.span("artifacts.hessian", n=self.num_train):
+                        self._hessian = self.model.hessian(self.X_train, self.y_train)
+                    self.stats.inc("hessian_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._hessian
@@ -167,9 +194,13 @@ class ModelArtifacts:
         """
         key = float(damping)
         if key not in self._solvers:
-            trace.add("cache_misses")
-            self._solvers[key] = HessianSolver(self.hessian, damping=key)
-            self.stats.inc("hessian_factorizations")
+            with self._lock:
+                if key not in self._solvers:
+                    trace.add("cache_misses")
+                    self._solvers[key] = HessianSolver(self.hessian, damping=key)
+                    self.stats.inc("hessian_factorizations")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._solvers[key]
@@ -177,12 +208,18 @@ class ModelArtifacts:
     def hessian_factors(self) -> tuple[np.ndarray, np.ndarray, float] | None:
         """The model's rank-one Hessian factors, or None if unavailable."""
         if self._factors == "unset":
-            trace.add("cache_misses")
-            try:
-                self._factors = self.model.hessian_factors(self.X_train, self.y_train)
-            except NotImplementedError:
-                self._factors = None
-            self.stats.inc("rank_one_factor_builds")
+            with self._lock:
+                if self._factors == "unset":
+                    trace.add("cache_misses")
+                    try:
+                        self._factors = self.model.hessian_factors(
+                            self.X_train, self.y_train
+                        )
+                    except NotImplementedError:
+                        self._factors = None
+                    self.stats.inc("rank_one_factor_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._factors  # type: ignore[return-value]
@@ -199,22 +236,28 @@ class ModelArtifacts:
         """
         key = float(damping)
         if key not in self._exact_rot:
-            trace.add("cache_misses")
-            with trace.span("artifacts.exact_rotation", n=self.num_train) as s:
-                factors = self.hessian_factors()
-                if factors is None:
-                    raise ValueError("model exposes no rank-one Hessian factors to rotate")
-                phi, weights, _ = factors
-                eigvecs = self.solver(key).eigendecomposition()[1]
-                curved = weights > 0.0
-                sqrt_w = np.sqrt(weights, where=curved, out=np.zeros_like(weights))
-                p = eigvecs.shape[0]
-                s.add("gemm_flops", 2.0 * 2 * self.num_train * p * p)
-                self._exact_rot[key] = (
-                    self.per_sample_grads @ eigvecs,
-                    (phi * sqrt_w[:, None]) @ eigvecs,
-                )
-            self.stats.inc("exact_rotation_builds")
+            with self._lock:
+                if key not in self._exact_rot:
+                    trace.add("cache_misses")
+                    with trace.span("artifacts.exact_rotation", n=self.num_train) as s:
+                        factors = self.hessian_factors()
+                        if factors is None:
+                            raise ValueError(
+                                "model exposes no rank-one Hessian factors to rotate"
+                            )
+                        phi, weights, _ = factors
+                        eigvecs = self.solver(key).eigendecomposition()[1]
+                        curved = weights > 0.0
+                        sqrt_w = np.sqrt(weights, where=curved, out=np.zeros_like(weights))
+                        p = eigvecs.shape[0]
+                        s.add("gemm_flops", 2.0 * 2 * self.num_train * p * p)
+                        self._exact_rot[key] = (
+                            self.per_sample_grads @ eigvecs,
+                            (phi * sqrt_w[:, None]) @ eigvecs,
+                        )
+                    self.stats.inc("exact_rotation_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._exact_rot[key]
@@ -425,20 +468,175 @@ class ModelArtifacts:
         self.y_train = y_new
         self.num_train = n_new
         self._auto_learning_rate = None
+        # Extent keys refer to pre-edit row indices and the cached rows to
+        # pre-edit gradients; both restart empty.  The update-search state
+        # holds the pre-edit Hessian/η and is re-derived lazily.
+        self._grad_sum_cache.clear()
+        self._param_change_cache.clear()
+        self._update_state = None
         self.version += 1
         self.stats.inc("edits")
 
     def auto_learning_rate(self) -> float:
         """η = 1/λ_max(H), the shared one-step surrogate step size."""
         if self._auto_learning_rate is None:
-            from repro.influence.one_step_gd import auto_learning_rate
+            with self._lock:
+                if self._auto_learning_rate is None:
+                    from repro.influence.one_step_gd import auto_learning_rate
 
-            trace.add("cache_misses")
-            self._auto_learning_rate = auto_learning_rate(self.hessian)
-            self.stats.inc("learning_rate_builds")
+                    trace.add("cache_misses")
+                    self._auto_learning_rate = auto_learning_rate(self.hessian)
+                    self.stats.inc("learning_rate_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._auto_learning_rate
+
+    # ------------------------------------------------------------------
+    @property
+    def extent_caching(self) -> bool:
+        """Whether the extent → gradient-sum / Δθ caches are live."""
+        return self._extent_caching
+
+    def enable_extent_caching(self) -> "ModelArtifacts":
+        """Switch on the cross-query extent caches.
+
+        Candidate masks are metric-independent, so within one audit the
+        same extent is re-summed (``g_S = M @ grads``) and re-solved once
+        per metric.  With caching on, each distinct extent pays its GEMM
+        and solve exactly once and later metrics serve the cached rows.
+        Off by default: a bare estimator built without a session keeps
+        per-call accounting (its ``exact_batch_stats`` routing counters
+        reflect executed work), and single-query workloads skip the keying
+        overhead.  :class:`repro.core.AuditSession` enables it at ``fit``.
+        """
+        self._extent_caching = True
+        return self
+
+    def _extent_keys(self, masks: np.ndarray) -> list[bytes]:
+        """Packed-row bytes per mask row — the extent identity used as key.
+
+        Matches the miner's packed layout (``np.packbits`` along rows with
+        zero padding), so dense lattice batches and packed mining chunks
+        of the same extent key identically.
+        """
+        packed = np.packbits(np.asarray(masks, dtype=bool), axis=1)
+        return [row.tobytes() for row in packed]
+
+    def gradient_sums(self, masks: np.ndarray) -> np.ndarray:
+        """``g_S = M @ grads`` rows, served from the extent cache when on.
+
+        This is the one GEMM every gradient-sum-based estimator (first
+        order, Neumann series, one-step GD) opens a query with.  The GEMM
+        span and its FLOPs are recorded only for rows actually computed —
+        a cache hit must not re-attribute work to the query's CostReport.
+        """
+        mask_f = np.asarray(masks).astype(np.float64)
+        grads = self.per_sample_grads
+        m, n = mask_f.shape
+        p = grads.shape[1]
+        if not self._extent_caching:
+            with trace.span("influence.gemm", m=m, n=n, p=p) as s:
+                s.add("gemm_flops", 2.0 * m * n * p)
+                return mask_f @ grads
+        keys = self._extent_keys(masks)
+        with self._lock:
+            cache = self._grad_sum_cache
+            compute_rows: list[int] = []
+            novel: set[bytes] = set()
+            for i, key in enumerate(keys):
+                if key not in cache and key not in novel:
+                    novel.add(key)
+                    compute_rows.append(i)
+            hits = m - len(compute_rows)
+            self.stats.inc("gradient_sum_cache_hits", hits)
+            self.stats.inc("gradient_sum_cache_misses", len(compute_rows))
+            trace.add("cache_hits", hits)
+            trace.add("cache_misses", len(compute_rows))
+            if compute_rows:
+                block = mask_f if len(compute_rows) == m else mask_f[np.asarray(compute_rows)]
+                k = block.shape[0]
+                with trace.span("influence.gemm", m=k, n=n, p=p) as s:
+                    s.add("gemm_flops", 2.0 * k * n * p)
+                    computed = block @ grads
+                for j, i in enumerate(compute_rows):
+                    cache[keys[i]] = computed[j].copy()
+                if hits == 0 and len(compute_rows) == m:
+                    return computed
+            out = np.empty((m, p), dtype=np.float64)
+            for i, key in enumerate(keys):
+                out[i] = cache[key]
+            return out
+
+    def cached_param_changes(self, spec: tuple, masks: np.ndarray, compute) -> np.ndarray:
+        """Per-row Δθ for removal extents, computing only novel extents.
+
+        ``spec`` identifies the estimator family and its numeric knobs
+        (variant, damping, learning rate) — everything Δθ depends on
+        besides the extent.  ``compute`` is the estimator's uncached batch
+        kernel; it runs only on the first occurrence of each extent, so one
+        audit pays each distinct extent's GEMMs and solves exactly once
+        regardless of how many metrics re-enumerate it.  Returned rows are
+        freshly assembled (cached rows are private copies), so callers may
+        mutate the result.
+        """
+        m = np.asarray(masks).shape[0]
+        if not self._extent_caching or m == 0:
+            return compute(masks)
+        keys = [(spec, key) for key in self._extent_keys(masks)]
+        with self._lock:
+            cache = self._param_change_cache
+            compute_rows: list[int] = []
+            novel: set[tuple] = set()
+            for i, key in enumerate(keys):
+                if key not in cache and key not in novel:
+                    novel.add(key)
+                    compute_rows.append(i)
+            hits = m - len(compute_rows)
+            self.stats.inc("param_change_cache_hits", hits)
+            self.stats.inc("param_change_cache_misses", len(compute_rows))
+            trace.add("cache_hits", hits)
+            trace.add("cache_misses", len(compute_rows))
+            if len(compute_rows) == m:
+                computed = compute(masks)
+                for j, i in enumerate(compute_rows):
+                    cache[keys[i]] = computed[j].copy()
+                return computed
+            if compute_rows:
+                rows = np.asarray(compute_rows)
+                computed = compute(np.asarray(masks)[rows])
+                for j, i in enumerate(compute_rows):
+                    cache[keys[i]] = computed[j].copy()
+            first = cache[keys[0]]
+            out = np.empty((m, first.shape[0]), dtype=np.float64)
+            for i, key in enumerate(keys):
+                out[i] = cache[key]
+            return out
+
+    def update_search_state(self) -> tuple[np.ndarray, float]:
+        """The metric-independent half of the §5 update-search context.
+
+        ``(hessian, learning_rate)`` — with the per-sample training
+        gradients reachable via :attr:`per_sample_grads` — is everything
+        :class:`repro.updates.projected_gd.UpdateSearchContext` needs that
+        does not depend on the metric; only ∇F and the original bias stay
+        per-view.  Built once per bundle under the ``update.context`` span
+        so a profiled audit shows exactly one build however many explainer
+        views call ``explain_updates``.
+        """
+        if self._update_state is None:
+            with self._lock:
+                if self._update_state is None:
+                    trace.add("cache_misses")
+                    with trace.span("update.context", n=self.num_train):
+                        self._update_state = (self.hessian, self.auto_learning_rate())
+                    self.stats.inc("update_context_builds")
+                else:
+                    trace.add("cache_hits")
+        else:
+            trace.add("cache_hits")
+        return self._update_state
 
     # ------------------------------------------------------------------
     def warm(

@@ -216,13 +216,39 @@ class InfluenceEstimator(ABC):
         packed = self._check_packed(subsets, num_rows)
         if packed is not None:
             chunks = [
-                self._param_change_from_masks(self._check_batch(masks))
+                self._param_changes(self._check_batch(masks))
                 for masks in self._iter_packed_chunks(packed)
             ]
             if not chunks:
                 return np.zeros((0, self.model.num_params))
             return np.concatenate(chunks, axis=0)
-        return self._param_change_from_masks(self._check_batch(subsets))
+        return self._param_changes(self._check_batch(subsets))
+
+    def _extent_cache_spec(self) -> tuple | None:
+        """Key identifying everything Δθ depends on besides the extent.
+
+        Closed-form estimators return ``(family, *numeric knobs)`` so their
+        per-row Δθ's can be cached on the shared artifacts by extent and
+        reused across the metrics of one audit.  ``None`` (the base —
+        retraining has no closed form worth caching) opts out.
+        """
+        return None
+
+    def _param_changes(self, masks: np.ndarray) -> np.ndarray:
+        """Δθ's for a validated mask batch, via the shared extent cache.
+
+        When the artifacts bundle has extent caching enabled (audit
+        sessions turn it on) and the estimator declares a cache spec, rows
+        are served per-extent from the bundle and
+        :meth:`_param_change_from_masks` runs only on novel extents; the
+        bare-estimator path is a plain passthrough.
+        """
+        spec = self._extent_cache_spec()
+        if spec is None or not self.artifacts.extent_caching:
+            return self._param_change_from_masks(masks)
+        return self.artifacts.cached_param_changes(
+            spec, masks, self._param_change_from_masks
+        )
 
     def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
         """Δθ's for a pre-validated (m, n) mask matrix.
@@ -264,7 +290,7 @@ class InfluenceEstimator(ABC):
             n=self.num_train,
         ) as s:
             s.add("evaluations", int(masks.shape[0]))
-            deltas = self._param_change_from_masks(masks)
+            deltas = self._param_changes(masks)
             if self.evaluation == "linear":
                 return deltas @ self.grad_f
             thetas = self.theta[None, :] + deltas

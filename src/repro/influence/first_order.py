@@ -41,10 +41,14 @@ class FirstOrderInfluence(InfluenceEstimator):
         artifacts: ModelArtifacts | None = None,
     ) -> None:
         super().__init__(model, X_train, y_train, metric, test_ctx, evaluation, artifacts)
+        self.damping = float(damping)
         self.solver = self.artifacts.solver(damping)
         # s = H⁻¹ ∇F lets linearized ΔF(S) collapse to a dot product with g_S.
         self._stest = self.solver.solve(self.grad_f)
         self._point_influences: np.ndarray | None = None
+
+    def _extent_cache_spec(self) -> tuple:
+        return ("first_order", self.damping)
 
     def param_change(self, indices: np.ndarray) -> np.ndarray:
         indices = self._subset_size_ok(indices)
@@ -56,11 +60,7 @@ class FirstOrderInfluence(InfluenceEstimator):
             return np.zeros((0, self.model.num_params))
         # One GEMM forms every g_S; one multi-RHS solve against the cached
         # factorization turns them into Δθ's.
-        m, n = masks.shape
-        p = self.model.num_params
-        with trace.span("influence.gemm", m=m, n=n, p=p) as s:
-            s.add("gemm_flops", 2.0 * m * n * p)
-            grad_sums = masks.astype(np.float64) @ self.per_sample_grads
+        grad_sums = self.artifacts.gradient_sums(masks)
         return self.solver.solve_many(grad_sums) / self.num_train
 
     def bias_change(self, indices: np.ndarray) -> float:

@@ -9,6 +9,8 @@ trick Koh & Liang apply — and, as a last resort, a conjugate-gradient solve.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from scipy import linalg
 from scipy.sparse.linalg import LinearOperator, cg
@@ -43,6 +45,7 @@ class HessianSolver:
         self.hessian = hessian
         self.damping_used = 0.0
         self.stats = StatsView({"eigendecompositions": 0}, namespace="hessian")
+        self._lock = threading.RLock()
         self._factor = self._factorize(hessian, damping)
         self._eig: tuple[np.ndarray, np.ndarray] | None = None
 
@@ -75,6 +78,7 @@ class HessianSolver:
         self.dim = hessian.shape[0]
         self.hessian = hessian
         self.stats = StatsView({"eigendecompositions": 0}, namespace="hessian")
+        self._lock = threading.RLock()
         eigvals = np.asarray(eigvals, dtype=np.float64)
         eigvecs = np.asarray(eigvecs, dtype=np.float64)
         if eigvals.shape != (self.dim,) or eigvecs.shape != (self.dim, self.dim):
@@ -108,10 +112,12 @@ class HessianSolver:
         solves never need it there.
         """
         if self._factor is None:
-            matrix = self.hessian
-            if self.damping_used:
-                matrix = matrix + self.damping_used * np.eye(self.dim)
-            self._factor = linalg.cho_factor(matrix, check_finite=False)
+            with self._lock:
+                if self._factor is None:
+                    matrix = self.hessian
+                    if self.damping_used:
+                        matrix = matrix + self.damping_used * np.eye(self.dim)
+                    self._factor = linalg.cho_factor(matrix, check_finite=False)
         return self._factor
 
     def updated(
@@ -180,12 +186,14 @@ class HessianSolver:
         callers.
         """
         if self._eig is None:
-            with trace.span("hessian.eigendecomposition", dim=self.dim):
-                matrix = self.hessian
-                if self.damping_used:
-                    matrix = matrix + self.damping_used * np.eye(self.dim)
-                self._eig = linalg.eigh(matrix, check_finite=False)
-            self.stats.inc("eigendecompositions")
+            with self._lock:
+                if self._eig is None:
+                    with trace.span("hessian.eigendecomposition", dim=self.dim):
+                        matrix = self.hessian
+                        if self.damping_used:
+                            matrix = matrix + self.damping_used * np.eye(self.dim)
+                        self._eig = linalg.eigh(matrix, check_finite=False)
+                    self.stats.inc("eigendecompositions")
         return self._eig
 
     def shifted_solve_many(self, B: np.ndarray, shifts: np.ndarray) -> np.ndarray:

@@ -65,6 +65,9 @@ class OneStepGradientDescent(InfluenceEstimator):
                 raise ValueError(f"learning_rate must be positive, got {rate}")
             self.learning_rate = rate
 
+    def _extent_cache_spec(self) -> tuple:
+        return ("one_step_gd", self.learning_rate)
+
     def param_change(self, indices: np.ndarray) -> np.ndarray:
         indices = self._subset_size_ok(indices)
         g_s = self.per_sample_grads[indices].sum(axis=0)
@@ -72,5 +75,5 @@ class OneStepGradientDescent(InfluenceEstimator):
 
     def _param_change_from_masks(self, masks: np.ndarray) -> np.ndarray:
         # Every subset's step is a scaled gradient sum: one GEMM total.
-        grad_sums = masks.astype(np.float64) @ self.per_sample_grads
+        grad_sums = self.artifacts.gradient_sums(masks)
         return (self.learning_rate / self.num_train) * grad_sums

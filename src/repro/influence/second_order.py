@@ -120,6 +120,9 @@ class SecondOrderInfluence(InfluenceEstimator):
             namespace="exact_batch",
         )
 
+    def _extent_cache_spec(self) -> tuple:
+        return ("second_order", self.variant, float(self.damping))
+
     def warm(self) -> "SecondOrderInfluence":
         super().warm()
         factors = self._hessian_factors()
@@ -190,9 +193,7 @@ class SecondOrderInfluence(InfluenceEstimator):
         p = self.model.num_params
         mask_f = masks.astype(np.float64)
         sizes = mask_f.sum(axis=1)
-        with trace.span("influence.gemm", m=num_subsets, n=n, p=p) as s:
-            s.add("gemm_flops", 2.0 * num_subsets * n * p)
-            grad_sums = mask_f @ self.per_sample_grads
+        grad_sums = self.artifacts.gradient_sums(masks)
         u = self.solver.solve_many(grad_sums)  # (m, p) rows = H⁻¹ g_S
         # H_S u_S = (1/|S|) φᵀ (1_S ⊙ w ⊙ (φ u_S)) + ridge·u_S, batched over
         # the subset axis by weighting the (n, m) projection with the masks.

@@ -46,6 +46,7 @@ built each exactly once — and that re-audits after an edit built nothing.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import MutableMapping
 
 import numpy as np
@@ -93,6 +94,9 @@ class PredicateAlphabet:
         self._build(table)
         self._miner_items: tuple[list[Predicate], np.ndarray] | None = None
         self._skeleton: tuple[np.ndarray, np.ndarray, list] | None = None
+        # Guards the lazy views (miner_items / pair_skeleton) so a cold
+        # alphabet shared across threads builds each exactly once.
+        self._lock = threading.Lock()
 
     def _build(self, table: Table) -> None:
         """Evaluate every spec of ``table`` in canonical order — the full build."""
@@ -190,32 +194,36 @@ class PredicateAlphabet:
         and every subsequent edit.
         """
         if self._skeleton is None:
-            from repro.patterns.pattern import Pattern
+            with self._lock:
+                if self._skeleton is None:
+                    from repro.patterns.pattern import Pattern
 
-            trace.add("cache_misses")
-            predicates = [predicate for predicate, _ in self.entries]
-            left: list[int] = []
-            right: list[int] = []
-            patterns: list = []
-            seen = set()
-            singles = [Pattern([predicate]) for predicate in predicates]
-            for i in range(len(singles)):
-                for j in range(i + 1, len(singles)):
-                    merged = singles[i].merge(singles[j])
-                    if len(merged) != 2 or merged in seen:
-                        continue
-                    seen.add(merged)
-                    if not merged.is_satisfiable():
-                        continue
-                    left.append(i)
-                    right.append(j)
-                    patterns.append(merged)
-            self._skeleton = (
-                np.array(left, dtype=np.int64),
-                np.array(right, dtype=np.int64),
-                patterns,
-            )
-            self._stats.inc("skeleton_builds")
+                    trace.add("cache_misses")
+                    predicates = [predicate for predicate, _ in self.entries]
+                    left: list[int] = []
+                    right: list[int] = []
+                    patterns: list = []
+                    seen = set()
+                    singles = [Pattern([predicate]) for predicate in predicates]
+                    for i in range(len(singles)):
+                        for j in range(i + 1, len(singles)):
+                            merged = singles[i].merge(singles[j])
+                            if len(merged) != 2 or merged in seen:
+                                continue
+                            seen.add(merged)
+                            if not merged.is_satisfiable():
+                                continue
+                            left.append(i)
+                            right.append(j)
+                            patterns.append(merged)
+                    self._skeleton = (
+                        np.array(left, dtype=np.int64),
+                        np.array(right, dtype=np.int64),
+                        patterns,
+                    )
+                    self._stats.inc("skeleton_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._skeleton
@@ -230,10 +238,14 @@ class PredicateAlphabet:
         the order must be frequency-ascending with sort-key tie-breaks.
         """
         if self._miner_items is None:
-            trace.add("cache_misses")
-            with trace.span("alphabet.pack_tidlists", entries=len(self.entries)):
-                self._miner_items = self._pack_items()
-            self._stats.inc("tidlist_builds")
+            with self._lock:
+                if self._miner_items is None:
+                    trace.add("cache_misses")
+                    with trace.span("alphabet.pack_tidlists", entries=len(self.entries)):
+                        self._miner_items = self._pack_items()
+                    self._stats.inc("tidlist_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
         return self._miner_items
@@ -265,6 +277,9 @@ class AlphabetCache:
     def __init__(self, table: Table, metrics: MetricsRegistry | None = None) -> None:
         self.table = table
         self._alphabets: dict[tuple, PredicateAlphabet] = {}
+        # Guards cache population so concurrent cold queries on a shared
+        # session build one alphabet per key, not one per thread.
+        self._lock = threading.Lock()
         self.stats = StatsView(
             {
                 "alphabet_builds": 0,
@@ -292,15 +307,22 @@ class AlphabetCache:
         """
         exclude = normalize_exclude_features(exclude_features)
         key = (float(support_threshold), int(num_bins), exclude)
-        if key not in self._alphabets:
-            trace.add("cache_misses")
-            self._alphabets[key] = PredicateAlphabet(
-                self.table, support_threshold, num_bins, exclude, self.stats
-            )
-            self.stats.inc("alphabet_builds")
+        alphabet = self._alphabets.get(key)
+        if alphabet is None:
+            with self._lock:
+                alphabet = self._alphabets.get(key)
+                if alphabet is None:
+                    trace.add("cache_misses")
+                    alphabet = PredicateAlphabet(
+                        self.table, support_threshold, num_bins, exclude, self.stats
+                    )
+                    self._alphabets[key] = alphabet
+                    self.stats.inc("alphabet_builds")
+                else:
+                    trace.add("cache_hits")
         else:
             trace.add("cache_hits")
-        return self._alphabets[key]
+        return alphabet
 
     def apply_edit(self, edit, new_table: Table) -> None:
         """Patch every cached alphabet for ``edit`` and rebind to ``new_table``.

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.datasets.encoding import TabularEncoder
 from repro.fairness.metrics import FairnessContext, FairnessMetric
+from repro.influence.artifacts import ModelArtifacts
 from repro.influence.one_step_gd import auto_learning_rate
 from repro.influence.parallel import RetrainTask, retrain_thetas
 from repro.models.base import TwiceDifferentiableClassifier
@@ -212,6 +213,15 @@ class UpdateSearchContext:
     one-step estimator, so the two surrogates can never disagree on η — the
     original bias, and the per-sample training gradients that seed every
     update's old-gradient sums.
+
+    Handed a shared :class:`~repro.influence.artifacts.ModelArtifacts`
+    bundle, the context splits further: the metric-*independent* half
+    (Hessian, η, train grads) is served from
+    :meth:`~repro.influence.artifacts.ModelArtifacts.update_search_state`
+    — built once per bundle however many metric views call
+    ``explain_updates`` — and only ∇F plus the original bias are computed
+    per context.  Standalone construction (no bundle) computes everything
+    itself, exactly as before.
     """
 
     def __init__(
@@ -221,6 +231,7 @@ class UpdateSearchContext:
         y_train: np.ndarray,
         metric: FairnessMetric,
         test_ctx: FairnessContext,
+        artifacts: ModelArtifacts | None = None,
     ) -> None:
         if model.theta is None:
             raise ValueError("model must be fitted before building an update-search context")
@@ -231,18 +242,28 @@ class UpdateSearchContext:
         self.test_ctx = test_ctx
         self.theta = np.asarray(model.theta, dtype=np.float64)
         self.num_train = len(self.X_train)
-        with trace.span(
-            "update.context", n=self.num_train, metric=metric.name
-        ):
-            self.grad_f = metric.grad_theta(model, test_ctx)
-            self.original_bias = float(metric.value(model, test_ctx))
-            self.hessian = model.hessian(self.X_train, self.y_train)
-            self.learning_rate = auto_learning_rate(self.hessian)
+        self._artifacts = artifacts
+        if artifacts is not None:
+            artifacts.check_compatible(model, X_train, y_train)
+            self.hessian, self.learning_rate = artifacts.update_search_state()
+            with trace.span("update.grad_f", n=self.num_train, metric=metric.name):
+                self.grad_f = metric.grad_theta(model, test_ctx)
+                self.original_bias = float(metric.value(model, test_ctx))
+        else:
+            with trace.span(
+                "update.context", n=self.num_train, metric=metric.name
+            ):
+                self.grad_f = metric.grad_theta(model, test_ctx)
+                self.original_bias = float(metric.value(model, test_ctx))
+                self.hessian = model.hessian(self.X_train, self.y_train)
+                self.learning_rate = auto_learning_rate(self.hessian)
         self._train_grads: np.ndarray | None = None
 
     @property
     def train_grads(self) -> np.ndarray:
         """∇_θℓ(z_i, θ*) for all training rows, shape (n, p) (cached)."""
+        if self._artifacts is not None:
+            return self._artifacts.per_sample_grads
         if self._train_grads is None:
             self._train_grads = self.model.per_sample_grads(self.X_train, self.y_train)
         return self._train_grads
@@ -344,24 +365,45 @@ def find_update_explanations(
 
     start = time.perf_counter()
     with trace.span("update.search", patterns=len(patterns), steps=num_steps):
-        domains, deltas = [], []
-        for pattern, indices in zip(patterns, subsets):
-            subset_X = context.X_train[indices]
-            subset_y = context.y_train[indices]
-            allowed = allowed_features if allowed_features is not None else pattern.features()
-            domain = UpdateDomain(encoder, subset_X, allowed)
-            ascend = _ascend_batch if batch else _ascend_loop
+        subset_Xs = [context.X_train[indices] for indices in subsets]
+        subset_ys = [context.y_train[indices] for indices in subsets]
+        domains = [
+            UpdateDomain(
+                encoder,
+                subset_X,
+                allowed_features if allowed_features is not None else pattern.features(),
+            )
+            for pattern, subset_X in zip(patterns, subset_Xs)
+        ]
+        if batch:
+            # One ascent over all k patterns: active sets rarely overlap, so
+            # the k per-step model calls collapse into one stacked call over
+            # every still-live pattern (see _ascend_all).
             with trace.span(
-                "update.ascent", rows=int(indices.size), features=len(allowed)
+                "update.ascent",
+                patterns=len(patterns),
+                rows=int(sum(indices.size for indices in subsets)),
             ):
-                deltas.append(
-                    ascend(
-                        model, subset_X, subset_y, context.ascent_grad_f, domain,
-                        learning_rate, num_steps,
-                        use_input_grads=use_input_grads and batch,
-                    )
+                deltas = _ascend_all(
+                    model, subset_Xs, subset_ys, context.ascent_grad_f, domains,
+                    learning_rate, num_steps, use_input_grads=use_input_grads,
                 )
-            domains.append(domain)
+        else:
+            deltas = []
+            for subset_X, subset_y, domain, indices in zip(
+                subset_Xs, subset_ys, domains, subsets
+            ):
+                with trace.span(
+                    "update.ascent",
+                    rows=int(indices.size),
+                    features=len(domain.allowed_features),
+                ):
+                    deltas.append(
+                        _ascend_loop(
+                            model, subset_X, subset_y, context.ascent_grad_f, domain,
+                            learning_rate, num_steps,
+                        )
+                    )
         score = _score_backoff_batch if batch else _score_backoff_loop
         with trace.span(
             "update.score", scales=len(_BACKOFF_SCALES) * len(patterns)
@@ -540,6 +582,110 @@ def _ascend_batch(
             break
         delta = new_delta
     return delta
+
+
+def _ascend_all(
+    model: TwiceDifferentiableClassifier,
+    subset_Xs: list[np.ndarray],
+    subset_ys: list[np.ndarray],
+    grad_f: np.ndarray,
+    domains: list[UpdateDomain],
+    learning_rate: float,
+    num_steps: int,
+    use_input_grads: bool = True,
+) -> list[np.ndarray]:
+    """Ascend all k patterns together: one model call per step, not k.
+
+    Each pattern keeps its own δ, projection, and convergence test —
+    identical per-pattern arithmetic to :func:`_ascend_batch` — but the
+    per-step gradient evaluations of every still-live pattern concatenate
+    into a single ``input_grads`` (or stacked finite-difference
+    ``per_sample_grads``) call.  The built-in models evaluate gradients
+    row-wise, so each pattern's slice of the concatenated result matches
+    its standalone evaluation; converged patterns drop out of the stack,
+    so late steps shrink toward the hardest pattern alone.
+    """
+    deltas = [np.zeros(subset_X.shape[1]) for subset_X in subset_Xs]
+    actives = [np.flatnonzero(domain.mask) for domain in domains]
+    live = [i for i in range(len(domains)) if actives[i].size]
+    if not live:
+        return deltas
+    analytic = use_input_grads and _supports_input_grads(model)
+    eps = 1e-4
+    for _ in range(num_steps):
+        bases = [subset_Xs[i] + deltas[i] for i in live]
+        if analytic:
+            full = model.input_grads(
+                np.concatenate(bases, axis=0),
+                np.concatenate([subset_ys[i] for i in live]),
+                grad_f,
+            )
+            grads = []
+            start = 0
+            for i, base in zip(live, bases):
+                summed = full[start : start + base.shape[0]].sum(axis=0)
+                start += base.shape[0]
+                grad = np.zeros(base.shape[1])
+                grad[actives[i]] = summed[actives[i]]
+                grads.append(grad)
+        else:
+            grads = _stacked_fd_grad_all(
+                model, bases, [subset_ys[i] for i in live],
+                grad_f, [actives[i] for i in live], eps,
+            )
+        still = []
+        for i, grad in zip(live, grads):
+            norm = np.linalg.norm(grad)
+            if norm < 1e-12:
+                continue
+            new_delta = domains[i].project_delta(deltas[i] + learning_rate * grad / norm)
+            if np.allclose(new_delta, deltas[i], atol=1e-10):
+                continue
+            deltas[i] = new_delta
+            still.append(i)
+        live = still
+        if not live:
+            break
+    return deltas
+
+
+def _stacked_fd_grad_all(
+    model: TwiceDifferentiableClassifier,
+    bases: list[np.ndarray],
+    subset_ys: list[np.ndarray],
+    grad_f: np.ndarray,
+    actives: list[np.ndarray],
+    eps: float,
+) -> list[np.ndarray]:
+    """Central-difference ∇_δJ for many patterns in one stacked model call.
+
+    Builds each pattern's 2·|active| centrally-perturbed copies exactly as
+    :func:`_stacked_fd_grad` does, concatenates every pattern's stack, and
+    splits the single ``per_sample_grads`` result back per pattern.
+    """
+    blocks, labels = [], []
+    for base, subset_y, active in zip(bases, subset_ys, actives):
+        s, dim = base.shape
+        a = active.size
+        stacked = np.repeat(base[None, :, :], 2 * a, axis=0)
+        arange = np.arange(a)
+        stacked[arange, :, active] += eps
+        stacked[a + arange, :, active] -= eps
+        blocks.append(stacked.reshape(2 * a * s, dim))
+        labels.append(np.tile(subset_y, 2 * a))
+    grads = model.per_sample_grads(np.concatenate(blocks, axis=0), np.concatenate(labels))
+    out = []
+    start = 0
+    for base, active in zip(bases, actives):
+        s, dim = base.shape
+        a = active.size
+        segment = grads[start : start + 2 * a * s]
+        start += 2 * a * s
+        values = segment.reshape(2 * a, s, -1).sum(axis=1) @ grad_f
+        grad = np.zeros(dim)
+        grad[active] = (values[:a] - values[a:]) / (2.0 * eps)
+        out.append(grad)
+    return out
 
 
 def _stacked_fd_grad(

@@ -11,11 +11,13 @@ shared state (the RL001 contract, enforced statically by
   queries, replay geometry) across a thread pool against one frozen
   session and asserts every answer is identical to the serial run.
 
-The cold-session variant (no ``warm()``) documents the remaining gap:
-the pragma'd RL001 writes (the ``context_for`` memo, the audit-history
-bookmark) are benign under the GIL but unverified for free-threaded
-serving, so that test is ``xfail(strict=False)`` — passing today,
-allowed to fail, tracked in ROADMAP as the concurrent-serving worklist.
+The cold-session variant (no ``warm()``) is the harder contract: every
+lazy build — per-sample gradients, the Hessian factorization, the
+exact-variant rotations, packed tidlists, the pair skeleton, the extent
+caches, the ``context_for`` memo — races under the hammer, and each sits
+behind a double-checked lock (or a first-build-wins ``setdefault`` under
+the session lock), so the pool builds each exactly once and every answer
+matches the serial run bit for bit.
 """
 
 from concurrent.futures import ThreadPoolExecutor
@@ -133,13 +135,6 @@ class TestHammer:
             if counter.endswith("builds") or "factoriz" in counter:
                 assert after[counter] == value, f"{counter} built during a read"
 
-    @pytest.mark.xfail(
-        strict=False,
-        reason="cold session: lazy builds and the pragma'd RL001 writes "
-        "(context_for memo, audit bookmark) race under the hammer; benign "
-        "under the GIL but not yet verified for free-threaded serving — "
-        "see the ROADMAP concurrent-serving worklist",
-    )
     def test_cold_frozen_session_hammer(self, lr_model, german_train, german_test):
         session = AuditSession(lr_model, **SEARCH).fit(german_train, german_test)
         freeze_session(session)  # frozen immediately: every build still pending

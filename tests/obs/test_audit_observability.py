@@ -2,11 +2,12 @@
 
 One traced audit must tell a complete cost story: the span tree's leaf
 spans account for >=80% of each query's wall time (no large anonymous
-gaps), every query's :class:`CostReport` carries nonzero GEMM-FLOP and
-cache-hit figures, the combined export passes the same validator CI runs
-over ``--trace-out`` files, and the *disabled* tracer's bound — span
-volume x measured null-span cost — stays under 3% of the traced wall
-time, so leaving the instrumentation in the hot loops is free.
+gaps), exactly one query pays the GEMM/solve FLOPs for the shared
+extent set while the rest are served entirely from the session's extent
+caches, the combined export passes the same validator CI runs over
+``--trace-out`` files, and the *disabled* tracer's bound — span volume
+x measured null-span cost — stays under 3% of the traced wall time, so
+leaving the instrumentation in the hot loops is free.
 """
 
 import pytest
@@ -46,15 +47,32 @@ class TestCostAttribution:
                 f"{query.cost.leaf_fraction:.1%} of wall time"
             )
 
-    def test_nonzero_flops_evaluations_and_cache_hits(self, traced_audit):
+    def test_flops_evaluations_and_cache_hits(self, traced_audit):
+        """One query pays the linear algebra; the rest ride the extent cache.
+
+        The grid's metrics all score the same candidate extents, so the
+        first query computes every Δθ (nonzero GEMM/solve FLOPs, extent
+        cache misses) and each later query is served entirely from the
+        session's extent caches — zero fresh FLOPs, perfect hit ratio.
+        """
         _, _, result, _ = traced_audit
-        for query in result.queries:
-            cost = query.cost
-            assert cost.gemm_flops > 0
-            assert cost.solve_flops > 0
+        costs = [query.cost for query in result.queries]
+        for cost in costs:
             assert cost.influence_evaluations > 0
             assert cost.cache_hits > 0
-            assert cost.cache_hit_ratio > 0.5  # the session exists to hit caches
+        paying = [cost for cost in costs if cost.gemm_flops > 0]
+        assert len(paying) == 1  # one GEMM per distinct extent set, not per metric
+        assert paying[0].solve_flops > 0
+        assert paying[0].cache_misses > 0
+        for cost in costs:
+            if cost is paying[0]:
+                continue
+            assert cost.gemm_flops == 0
+            assert cost.solve_flops == 0
+            assert cost.cache_hit_ratio == 1.0
+        total_hits = sum(cost.cache_hits for cost in costs)
+        total_misses = sum(cost.cache_misses for cost in costs)
+        assert total_hits / (total_hits + total_misses) > 0.5
 
     def test_cost_is_none_when_tracing_disabled(self, lr_model, german_train, german_test):
         session = AuditSession(lr_model, **SEARCH).fit(german_train, german_test)

@@ -1,8 +1,9 @@
 """Tests for repro.obs.cost: FLOP models and CostReport aggregation."""
 
+import numpy as np
 import pytest
 
-from repro.obs import CostReport, Tracer, gemm_flops, solve_flops
+from repro.obs import CostReport, Tracer, gemm_flops, solve_flops, trace
 
 
 def test_flop_models():
@@ -73,6 +74,55 @@ class TestFromSpan:
         assert report.cache_hit_ratio == 0.0
         assert report.leaf_fraction == 0.0
         assert report.total_flops == 0.0
+
+
+class TestCacheHitFlopHonesty:
+    """Attributed FLOPs must equal executed work: a hit on the extent
+    cache serves stored rows and may not re-record an ``influence.gemm``
+    span, and a partial hit records a span sized to the miss rows only."""
+
+    @pytest.fixture()
+    def artifacts(self, lr_model, X_train, german_train):
+        from repro.influence import ModelArtifacts
+
+        return ModelArtifacts(
+            lr_model, X_train, german_train.labels
+        ).enable_extent_caching()
+
+    def test_cache_hit_does_not_re_record_gemm_flops(self, artifacts, X_train):
+        rng = np.random.default_rng(5)
+        n = X_train.shape[0]
+        masks = rng.random((6, n)) < 0.1
+        p = artifacts.per_sample_grads.shape[1]
+        tracer = Tracer()
+        with trace.tracing(tracer):
+            with trace.span("audit.query") as cold:
+                artifacts.gradient_sums(masks)
+            with trace.span("audit.query") as warm:
+                artifacts.gradient_sums(masks)
+        cold_report = CostReport.from_span(cold)
+        assert cold_report.gemm_flops == gemm_flops(6, n, p)
+        assert artifacts.stats["gradient_sum_cache_misses"] == 6
+        warm_report = CostReport.from_span(warm)
+        assert warm_report.gemm_flops == 0.0
+        assert artifacts.stats["gradient_sum_cache_hits"] == 6
+        assert not any(s.name == "influence.gemm" for s in warm.walk())
+
+    def test_partial_hit_attributes_only_computed_rows(self, artifacts, X_train):
+        rng = np.random.default_rng(6)
+        n = X_train.shape[0]
+        seen = rng.random((4, n)) < 0.1
+        artifacts.gradient_sums(seen)
+        p = artifacts.per_sample_grads.shape[1]
+        mixed = np.vstack([seen[:2], rng.random((3, n)) < 0.1])
+        tracer = Tracer()
+        with trace.tracing(tracer):
+            with trace.span("audit.query") as q:
+                artifacts.gradient_sums(mixed)
+        report = CostReport.from_span(q)
+        assert report.gemm_flops == gemm_flops(3, n, p)
+        assert artifacts.stats["gradient_sum_cache_hits"] == 2
+        assert artifacts.stats["gradient_sum_cache_misses"] == 4 + 3
 
 
 class TestExports:

@@ -103,15 +103,20 @@ class TestCommands:
         assert "hessian_factorizations=1" in out
         assert "alphabet_builds=1" in out
 
-    def test_audit_rejects_updates_flag(self, capsys):
+    def test_audit_with_updates_repairs_every_query(self, capsys):
         code = main(
             [
                 "explain", "--dataset", "german", "--rows", "400",
-                "--audit", "--updates", "--no-verify",
+                "--estimator", "first_order", "--max-predicates", "2",
+                "-k", "2", "--audit", "--updates", "--no-verify",
             ]
         )
-        assert code == 2
-        assert "--updates" in capsys.readouterr().err
+        assert code == 0
+        out = capsys.readouterr().out
+        # One repair block per audit query, all sharing the session's
+        # update context (built exactly once for the whole audit).
+        assert out.count("Update-based explanations") >= 2
+        assert "update_context_builds=1" in out
 
     def test_explain_updates_runs(self, capsys):
         # --no-verify leaves gt_bias_change empty, so this also exercises

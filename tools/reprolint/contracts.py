@@ -111,6 +111,16 @@ REPRO_CONTRACTS = ContractSet(
         ("ModelArtifacts", "hessian_factors"): BuildContract("rank_one_factor_builds"),
         ("ModelArtifacts", "exact_rotation"): BuildContract("exact_rotation_builds"),
         ("ModelArtifacts", "auto_learning_rate"): BuildContract("learning_rate_builds"),
+        ("ModelArtifacts", "gradient_sums"): BuildContract("gradient_sum_cache_misses"),
+        ("ModelArtifacts", "cached_param_changes"): BuildContract(
+            "param_change_cache_misses"
+        ),
+        ("ModelArtifacts", "update_search_state"): BuildContract("update_context_builds"),
+        ("ModelArtifacts", "enable_extent_caching"): BuildContract(
+            None,
+            reason="session start-up switch flipped by AuditSession.fit before the "
+            "instance is shared; bare estimators never call it",
+        ),
         ("ModelArtifacts", "apply_edit"): BuildContract("edits", kind="edit"),
         ("ModelArtifacts", "warm"): BuildContract(
             None, reason="eager driver: every build it triggers is counted by its own entry"
