@@ -13,7 +13,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets import TabularEncoder, load_adult, load_german, load_sqf, train_test_split
+from repro.datasets import (
+    TabularEncoder,
+    load_adult,
+    load_german,
+    load_sqf,
+    load_synth_scale,
+    train_test_split,
+)
 from repro.datasets.base import Dataset
 from repro.fairness.metrics import FairnessContext, FairnessMetric, get_metric
 from repro.models import LinearSVM, LogisticRegression, NeuralNetwork
@@ -24,6 +31,7 @@ DATASETS = {
     "german": load_german,
     "adult": load_adult,
     "sqf": load_sqf,
+    "synth_scale": load_synth_scale,
 }
 
 MODELS = {

@@ -128,6 +128,11 @@ class ReplayGeometry:
 
 def replay_geometry(alphabet: PredicateAlphabet, support_threshold: float) -> ReplayGeometry:
     """Build the shared structural state for replays against ``alphabet``."""
+    if getattr(alphabet, "packed", False):
+        raise ValueError(
+            "delta replay consumes boolean level-1 masks and cannot run on a "
+            "packed (out-of-core) alphabet"
+        )
     entries = alphabet.entries
     n = alphabet.num_rows
     num_entries = len(entries)

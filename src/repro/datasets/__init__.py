@@ -13,6 +13,7 @@ from repro.datasets.edits import DataEdit, random_edit
 from repro.datasets.binning import equal_width_thresholds, quantile_thresholds
 from repro.datasets.encoding import EncodedGroup, TabularEncoder
 from repro.datasets.german import load_german
+from repro.datasets.scale import load_synth_scale
 from repro.datasets.splits import train_test_split
 from repro.datasets.sqf import load_sqf
 
@@ -26,6 +27,7 @@ __all__ = [
     "load_adult",
     "load_german",
     "load_sqf",
+    "load_synth_scale",
     "quantile_thresholds",
     "random_edit",
     "train_test_split",

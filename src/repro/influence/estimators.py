@@ -65,6 +65,18 @@ matrix.  Handing the miner's buffers over as giant unpacked bool matrices
 is deprecated in favour of this path; results are bit-identical because
 each chunk runs the exact same mask pipeline.
 
+With ``num_rows`` the batch entry points also accept an *index-streamed*
+batch: a plain sequence of per-subset sorted index arrays (the miner's
+compressed sparse tidlists).  Each subset then costs O(|S|) to gather —
+never O(n) to unpack — so a batch of small extents over a 10M-row table
+touches only the rows it names.  The gradient-sum estimators override the
+``_param_changes_indices`` hook with a stacked gather-sum; the base class
+loops the scalar closed form.  The index path bypasses the shared
+per-extent Δθ cache (its keys are packed-byte extents; packing each
+subset just to key a cache would reintroduce the O(n/8) per-subset cost
+this path exists to avoid) — deduplication is the caller's job, which the
+mining cache already performs by extent digest.
+
 Evaluation modes
 ----------------
 How Δθ is turned into ΔF is itself a modelling choice, so each estimator
@@ -210,8 +222,10 @@ class InfluenceEstimator(ABC):
         """Estimated Δθ for every subset in the batch — shape (m, p).
 
         ``subsets`` is an (m, n) boolean mask matrix, a sequence of index
-        arrays, or — with ``num_rows`` — an (m, ceil(n/8)) uint8 matrix of
-        bit-packed masks, unpacked chunk by chunk.
+        arrays, or — with ``num_rows`` — either an (m, ceil(n/8)) uint8
+        matrix of bit-packed masks (unpacked chunk by chunk) or an
+        index-streamed sequence of per-subset index arrays (gathered, never
+        unpacked).
         """
         packed = self._check_packed(subsets, num_rows)
         if packed is not None:
@@ -222,6 +236,8 @@ class InfluenceEstimator(ABC):
             if not chunks:
                 return np.zeros((0, self.model.num_params))
             return np.concatenate(chunks, axis=0)
+        if num_rows is not None:
+            return self._param_changes_indices(self._check_index_batch(subsets))
         return self._param_changes(self._check_batch(subsets))
 
     def _extent_cache_spec(self) -> tuple | None:
@@ -263,6 +279,18 @@ class InfluenceEstimator(ABC):
             return np.zeros((0, self.model.num_params))
         return np.stack([self.param_change(np.flatnonzero(row)) for row in masks])
 
+    def _param_changes_indices(self, idxs: list[np.ndarray]) -> np.ndarray:
+        """Δθ's for a validated index-streamed batch — no (m, n) masks.
+
+        The base implementation loops the scalar closed form (correct for
+        any estimator, including retraining); gradient-sum estimators
+        override it with a stacked gather-sum so a batch of small subsets
+        costs O(Σ|S|·p), independent of the training-set size.
+        """
+        if not idxs:
+            return np.zeros((0, self.model.num_params))
+        return np.stack([self.param_change(idx) for idx in idxs])
+
     def bias_change_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         """Estimated ΔF for every subset in the batch — shape (m,).
 
@@ -270,7 +298,8 @@ class InfluenceEstimator(ABC):
         evaluation mode is applied to all m perturbed parameter vectors in
         one vectorized pass (see the module docstring).  Packed uint8
         batches (with ``num_rows``) stream through in bounded-memory
-        chunks.
+        chunks; index-streamed batches (sequences of index arrays with
+        ``num_rows``) gather only the rows they name.
         """
         packed = self._check_packed(subsets, num_rows)
         if packed is not None:
@@ -280,6 +309,8 @@ class InfluenceEstimator(ABC):
                 m=int(packed.shape[0]),
             ):
                 return self._packed_bias_change(packed)
+        if num_rows is not None:
+            return self._indices_bias_change(self._check_index_batch(subsets))
         masks = self._check_batch(subsets)
         if masks.shape[0] == 0:
             return np.zeros(0)
@@ -291,15 +322,32 @@ class InfluenceEstimator(ABC):
         ) as s:
             s.add("evaluations", int(masks.shape[0]))
             deltas = self._param_changes(masks)
-            if self.evaluation == "linear":
-                return deltas @ self.grad_f
-            thetas = self.theta[None, :] + deltas
-            with trace.span("influence.evaluate", mode=self.evaluation, m=int(masks.shape[0])):
-                if self.evaluation == "smooth":
-                    after = self.metric.surrogate_batch(self.model, self.test_ctx, thetas)
-                    return after - self.original_surrogate
-                after = self.metric.value_batch(self.model, self.test_ctx, thetas)
-                return after - self.original_bias
+            return self._apply_evaluation(deltas)
+
+    def _apply_evaluation(self, deltas: np.ndarray) -> np.ndarray:
+        """Fold an (m, p) Δθ matrix into (m,) ΔF's under the evaluation mode."""
+        if self.evaluation == "linear":
+            return deltas @ self.grad_f
+        thetas = self.theta[None, :] + deltas
+        with trace.span("influence.evaluate", mode=self.evaluation, m=int(deltas.shape[0])):
+            if self.evaluation == "smooth":
+                after = self.metric.surrogate_batch(self.model, self.test_ctx, thetas)
+                return after - self.original_surrogate
+            after = self.metric.value_batch(self.model, self.test_ctx, thetas)
+            return after - self.original_bias
+
+    def _indices_bias_change(self, idxs: list[np.ndarray]) -> np.ndarray:
+        """ΔF over a validated index-streamed batch, shape (m,)."""
+        if not idxs:
+            return np.zeros(0)
+        with trace.span(
+            "influence.batch_indices",
+            estimator=type(self).__name__,
+            m=len(idxs),
+            n=self.num_train,
+        ) as s:
+            s.add("evaluations", len(idxs))
+            return self._apply_evaluation(self._param_changes_indices(idxs))
 
     def responsibility_batch(self, subsets, num_rows: int | None = None) -> np.ndarray:
         """Causal responsibility R_F(S) for every subset — shape (m,)."""
@@ -331,11 +379,13 @@ class InfluenceEstimator(ABC):
     def _check_packed(self, subsets, num_rows: int | None) -> np.ndarray | None:
         """Validate a packed uint8 batch; None when ``subsets`` is not one.
 
-        ``num_rows`` is the contract marker for the packed representation —
-        without it a 2-D uint8 array is rejected by :meth:`_check_batch`
+        ``num_rows`` is the contract marker for the streamed representations
+        — without it a 2-D uint8 array is rejected by :meth:`_check_batch`
         (reading 0/1 bytes as bit-packs would silently score the wrong
-        subsets), and with it anything but a packed matrix over the
-        training rows is an error.
+        subsets), and with it the batch must be either a packed matrix over
+        the training rows (validated and returned here) or an
+        index-streamed sequence of per-subset index arrays (None is
+        returned and the callers dispatch to the index hooks).
         """
         self._check_fresh()
         if num_rows is None:
@@ -344,6 +394,8 @@ class InfluenceEstimator(ABC):
             raise ValueError(
                 f"packed batches cover {num_rows} rows, expected {self.num_train}"
             )
+        if self._is_index_batch(subsets):
+            return None
         packed = np.asarray(subsets)
         if packed.ndim != 2 or packed.dtype != np.uint8:
             raise ValueError(
@@ -357,6 +409,35 @@ class InfluenceEstimator(ABC):
                 f"{width} for {num_rows} rows"
             )
         return packed
+
+    @staticmethod
+    def _is_index_batch(subsets) -> bool:
+        """True for an index-streamed batch: a sequence of 1-D index arrays.
+
+        Disambiguated from packed batches by element dtype — packed rows
+        are uint8, index arrays any other integer dtype (the miner emits
+        int32/int64 per :func:`repro.mining.bitset.sparse_index_dtype`).
+        An empty sequence is not claimed, so it keeps the historical
+        packed-batch error rather than silently scoring nothing.
+        """
+        if isinstance(subsets, np.ndarray):
+            return subsets.ndim == 1 and subsets.dtype == object and subsets.size > 0
+        if not isinstance(subsets, (list, tuple)) or not subsets:
+            return False
+        for subset in subsets:
+            arr = np.asarray(subset)
+            if arr.ndim != 1 or arr.dtype.kind not in "iu" or arr.dtype == np.uint8:
+                return False
+        return True
+
+    def _check_index_batch(self, subsets) -> list[np.ndarray]:
+        """Validate an index-streamed batch subset by subset.
+
+        Each subset gets the full scalar-path checks (range, duplicates,
+        the entire-training-set guard) without ever scattering into an
+        (m, n) mask matrix.
+        """
+        return [self._subset_size_ok(subset) for subset in subsets]
 
     def _iter_packed_chunks(self, packed: np.ndarray):
         """Unpack a packed batch ``_PACKED_CHUNK`` subsets at a time."""
@@ -431,11 +512,16 @@ class InfluenceEstimator(ABC):
         indices = indices.astype(np.int64)
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_train):
             raise IndexError("subset indices out of range of the training data")
-        if indices.size > 1 and np.unique(indices).size != indices.size:
+        if indices.size > 1:
             # A subset is a set: a duplicated index would double-count its
             # gradient in the scalar sum but collapse to one row in the
             # batched mask representation, silently breaking batch == loop.
-            raise ValueError("subset indices contain duplicates")
+            # Strictly increasing arrays (the miner's sparse tidlists) are
+            # duplicate-free by construction — one diff pass instead of a
+            # sort per subset.
+            if not bool((np.diff(indices) > 0).all()):
+                if np.unique(indices).size != indices.size:
+                    raise ValueError("subset indices contain duplicates")
         return indices
 
     def _subset_size_ok(self, indices: np.ndarray) -> np.ndarray:

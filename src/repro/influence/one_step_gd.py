@@ -77,3 +77,10 @@ class OneStepGradientDescent(InfluenceEstimator):
         # Every subset's step is a scaled gradient sum: one GEMM total.
         grad_sums = self.artifacts.gradient_sums(masks)
         return (self.learning_rate / self.num_train) * grad_sums
+
+    def _param_changes_indices(self, idxs: list[np.ndarray]) -> np.ndarray:
+        if not idxs:
+            return np.zeros((0, self.model.num_params))
+        grads = self.per_sample_grads
+        grad_sums = np.stack([grads[idx].sum(axis=0) for idx in idxs])
+        return (self.learning_rate / self.num_train) * grad_sums

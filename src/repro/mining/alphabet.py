@@ -51,12 +51,22 @@ from collections.abc import MutableMapping
 
 import numpy as np
 
-from repro.mining.bitset import pack_rows
+from repro.mining.bitset import pack_rows, packed_width, popcount, unpack_rows
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.patterns.candidates import iter_predicate_specs, normalize_exclude_features
 from repro.patterns.predicate import Predicate
 from repro.tabular import Table
+
+#: Above this row count the alphabet stores *packed* masks and builds them
+#: by streaming row blocks off the table — the (K, n) bool dict would cost
+#: K·n bytes (tens of GB at 10M rows × 60 predicates) where packed costs
+#: K·n/8.
+_PACKED_AUTO_ROWS = 1_000_000
+
+#: Rows per streamed block (a multiple of 8, so every block but the last
+#: packs to a whole number of bytes and block outputs concatenate exactly).
+_BLOCK_ROWS = 262_144
 
 
 class PredicateAlphabet:
@@ -73,6 +83,15 @@ class PredicateAlphabet:
     ``_evaluated``: an edit can push a predicate across the support
     threshold in either direction, so :meth:`apply_edit` must re-filter
     the *full* spec set, not just the surviving entries.
+
+    Above ``_PACKED_AUTO_ROWS`` rows (or with ``packed=True``) the
+    alphabet stores packed ``uint8`` masks instead of booleans and builds
+    them by streaming row blocks off the table (:meth:`_build_packed`) —
+    the out-of-core mode the million-row miner runs on.  ``entries`` then
+    holds packed rows; consumers that require boolean masks (the lattice,
+    the delta-replay path) must check :attr:`packed` and refuse rather
+    than misread bytes as booleans.  The miner is representation-agnostic:
+    :meth:`miner_items` already serves packed tidlists in both modes.
     """
 
     def __init__(
@@ -82,6 +101,8 @@ class PredicateAlphabet:
         num_bins: int,
         exclude_features=None,
         stats: MutableMapping[str, int] | None = None,
+        packed: bool | None = None,
+        block_rows: int | None = None,
     ) -> None:
         self.support_threshold = float(support_threshold)
         self.num_bins = int(num_bins)
@@ -90,6 +111,17 @@ class PredicateAlphabet:
         self._stats.setdefault("tidlist_builds", 0)
         self._stats.setdefault("tidlist_patches", 0)
         self._stats.setdefault("skeleton_builds", 0)
+        self._stats.setdefault("block_streams", 0)
+        self._stats.setdefault("projection_builds", 0)
+        self._stats.setdefault("tidlist_compressions", 0)
+        self._stats.setdefault("sparse_dispatch_hits", 0)
+        self._stats.setdefault("dense_dispatch_hits", 0)
+        self.packed = bool(
+            packed if packed is not None else table.num_rows >= _PACKED_AUTO_ROWS
+        )
+        self._block_rows = int(block_rows) if block_rows else _BLOCK_ROWS
+        if self._block_rows % 8:
+            raise ValueError(f"block_rows must be a multiple of 8, got {self._block_rows}")
         self._evaluated: dict[Predicate, np.ndarray] = {}
         self._build(table)
         self._miner_items: tuple[list[Predicate], np.ndarray] | None = None
@@ -100,6 +132,9 @@ class PredicateAlphabet:
 
     def _build(self, table: Table) -> None:
         """Evaluate every spec of ``table`` in canonical order — the full build."""
+        if self.packed:
+            self._build_packed(table)
+            return
         with trace.span("alphabet.build", rows=table.num_rows) as s:
             evaluated: dict[Predicate, np.ndarray] = {}
             for predicate in iter_predicate_specs(table, self.num_bins, self.exclude_features):
@@ -110,17 +145,64 @@ class PredicateAlphabet:
             self._filter_entries()
             s.set(predicates=len(evaluated), entries=len(self.entries))
 
+    def _build_packed(self, table: Table) -> None:
+        """The out-of-core build: stream row blocks, store packed masks.
+
+        Specs are derived once from the full table (bin edges need the whole
+        column), then each block of ``_block_rows`` rows is materialized as a
+        sub-table and every predicate evaluated against it; the block's bits
+        land in the predicate's packed buffer at ``block_start // 8``.  Peak
+        transient memory is one block's sub-table plus one ``(block_rows,)``
+        bool mask — independent of ``n`` — on top of the ``K · n/8`` packed
+        output that *is* the alphabet.
+        """
+        with trace.span("alphabet.block_build", rows=table.num_rows) as s:
+            n = table.num_rows
+            width = packed_width(n)
+            specs = list(
+                dict.fromkeys(
+                    iter_predicate_specs(table, self.num_bins, self.exclude_features)
+                )
+            )
+            evaluated: dict[Predicate, np.ndarray] = {
+                predicate: np.zeros(width, dtype=np.uint8) for predicate in specs
+            }
+            blocks = 0
+            for start in range(0, n, self._block_rows):
+                stop = min(start + self._block_rows, n)
+                block = table.take(np.arange(start, stop))
+                for predicate in specs:
+                    packed = np.packbits(predicate.mask(block))
+                    evaluated[predicate][start // 8 : start // 8 + packed.size] = packed
+                blocks += 1
+            self._evaluated = evaluated
+            self.num_rows = n
+            self._filter_entries()
+            self._stats.inc("block_streams", blocks)
+            s.set(
+                predicates=len(evaluated),
+                entries=len(self.entries),
+                blocks=blocks,
+                block_rows=self._block_rows,
+            )
+
+    def _support_count(self, mask: np.ndarray) -> int:
+        """Covered-row count of a stored mask in either representation,
+        pinned to a python int (no 32-bit accumulator on any path)."""
+        return int(popcount(mask)) if self.packed else int(mask.sum(dtype=np.int64))
+
     def _filter_entries(self) -> None:
         """Re-run the support filter over ``_evaluated`` (canonical order)."""
         n = self.num_rows
         singles = [
-            (predicate, mask)
+            (predicate, mask, count)
             for predicate, mask in self._evaluated.items()
-            if mask.sum() / n > self.support_threshold
+            for count in (self._support_count(mask),)
+            if count / n > self.support_threshold
         ]
         self.num_generated = len(singles)
         self.entries: list[tuple[Predicate, np.ndarray]] = [
-            (predicate, mask) for predicate, mask in singles if not mask.all()
+            (predicate, mask) for predicate, mask, count in singles if count != n
         ]
 
     # ------------------------------------------------------------------
@@ -150,6 +232,14 @@ class PredicateAlphabet:
             keep[list(edit.remove_indices)] = False
         patched: dict[Predicate, np.ndarray] = {}
         for predicate, mask in self._evaluated.items():
+            if self.packed:
+                # One predicate at a time: the O(n) bool form is a transient,
+                # never K of them at once.
+                new_mask = unpack_rows(mask, self.num_rows)[keep]
+                if edit.num_added:
+                    new_mask = np.concatenate([new_mask, predicate.mask(edit.add_table)])
+                patched[predicate] = pack_rows(new_mask)
+                continue
             new_mask = mask[keep]
             if edit.num_added:
                 new_mask = np.concatenate([new_mask, predicate.mask(edit.add_table)])
@@ -169,13 +259,16 @@ class PredicateAlphabet:
     # ------------------------------------------------------------------
     def _pack_items(self) -> tuple[list[Predicate], np.ndarray]:
         ordered = sorted(
-            self.entries, key=lambda pair: (int(pair[1].sum()), pair[0].sort_key())
+            self.entries,
+            key=lambda pair: (self._support_count(pair[1]), pair[0].sort_key()),
         )
         predicates = [predicate for predicate, _ in ordered]
-        if ordered:
-            tids = pack_rows(np.stack([mask for _, mask in ordered]))
-        else:
+        if not ordered:
             tids = np.zeros((0, (self.num_rows + 7) // 8), dtype=np.uint8)
+        elif self.packed:
+            tids = np.stack([mask for _, mask in ordered])
+        else:
+            tids = pack_rows(np.stack([mask for _, mask in ordered]))
         return predicates, tids
 
     def pair_skeleton(self) -> tuple[np.ndarray, np.ndarray, list]:
@@ -264,6 +357,35 @@ class PredicateAlphabet:
             _ = self.pair_skeleton()
         return self
 
+    def record_mining_counters(
+        self,
+        projection_builds: int = 0,
+        tidlist_compressions: int = 0,
+        sparse_dispatch_hits: int = 0,
+        dense_dispatch_hits: int = 0,
+        block_streams: int = 0,
+    ) -> None:
+        """Flush one search's worth of mining-layer counters.
+
+        The miner tallies its hot-loop events (conditional-database
+        projections, dense→sparse tidlist compressions, representation
+        dispatch hits) in plain local ints — bumping the lock-protected
+        registry per lattice node would put a mutex in the innermost loop —
+        and flushes them here once per search, so the benchmarks and RL002
+        see them through the same :class:`~repro.obs.metrics.StatsView` as
+        every other mining counter.
+        """
+        if projection_builds:
+            self._stats.inc("projection_builds", projection_builds)
+        if tidlist_compressions:
+            self._stats.inc("tidlist_compressions", tidlist_compressions)
+        if sparse_dispatch_hits:
+            self._stats.inc("sparse_dispatch_hits", sparse_dispatch_hits)
+        if dense_dispatch_hits:
+            self._stats.inc("dense_dispatch_hits", dense_dispatch_hits)
+        if block_streams:
+            self._stats.inc("block_streams", block_streams)
+
 
 class AlphabetCache:
     """Alphabets of one training table, shared across search queries.
@@ -287,6 +409,11 @@ class AlphabetCache:
                 "skeleton_builds": 0,
                 "alphabet_patches": 0,
                 "tidlist_patches": 0,
+                "block_streams": 0,
+                "projection_builds": 0,
+                "tidlist_compressions": 0,
+                "sparse_dispatch_hits": 0,
+                "dense_dispatch_hits": 0,
             },
             registry=metrics,
             namespace="mining",

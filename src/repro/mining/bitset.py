@@ -20,16 +20,50 @@ All helpers preserve the invariant that the padding bits of the final byte
 are zero: ``pack_rows`` inherits it from ``np.packbits`` (which zero-pads),
 and intersections of zero-padded rows stay zero-padded, so popcounts and
 byte-wise equality are exact without masking.
+
+Density-adaptive representation
+-------------------------------
+Deep mining nodes are *sparse*: a depth-3 extent at τ = 1% covers at most
+a few percent of the table, yet a packed AND still touches all ``n/8``
+bytes.  A second representation lives beside the packed one — a sorted
+array of row indices (``int32`` when the index fits, ``int64`` past
+2³¹ − 1 rows) — chosen per tidlist by :func:`sparse_eligible`: index form
+wins once ``count · 32 ≤ num_rows`` (one 4-byte ``int32`` index per row
+versus one bit per table row, with a 4× hysteresis margin so borderline
+tidlists stay packed and dense-path popcounts stay vectorized).
+``intersect`` / ``popcount`` / ``covers_all`` / ``tid_key`` dispatch on
+the representation (``uint8`` dtype ⇒ packed, integer dtype ⇒ sparse):
+
+* sparse × sparse — galloping intersection: binary-search the smaller
+  list into the larger, ``O(|small| · log |large|)``.
+* sparse × packed — gather the ``|small|`` addressed bits out of the
+  packed row (:func:`bit_test`), never expanding the dense side.
+* packed × packed — the original vectorized byte AND.
+
+Counts and index sums are pinned to 64-bit accumulators throughout so a
+``n > 2³¹``-row table cannot overflow a support counter (the packed
+reduction in :func:`popcount` already sums with ``dtype=np.int64``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+#: A tidlist flips to the sorted-index representation when
+#: ``count * SPARSE_DENSITY <= num_rows`` — i.e. below 1/32 ≈ 3.1% density.
+#: At the flip point the index form costs ``4 · n/32 = n/8`` bytes
+#: (``int32``), exactly the packed row it replaces; every halving of the
+#: density halves it again, while the packed row would stay flat.
+SPARSE_DENSITY = 32
+
+_INT32_MAX = np.iinfo(np.int32).max
+
 # np.bitwise_count arrived in NumPy 2.0; the lookup table keeps the miner
 # working (at byte-LUT speed) on the 1.x line the CI matrix still includes.
 _HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
-_POPCOUNT_LUT = np.array([bin(v).count("1") for v in range(256)], dtype=np.int64)
+# uint8 entries so the per-byte count matrix is 1 byte per packed byte on
+# both branches (the row sums below widen to int64 without a full copy).
+_POPCOUNT_LUT = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
 
 
 def packed_width(num_rows: int) -> int:
@@ -67,15 +101,101 @@ def unpack_rows(packed: np.ndarray, num_rows: int) -> np.ndarray:
             f"(expected {width} bytes)"
         )
     if packed.ndim == 1:
-        return np.unpackbits(packed, count=num_rows).astype(bool)
+        # unpackbits returns a fresh 0/1 buffer, so the bool view is free.
+        return np.unpackbits(packed, count=num_rows).view(np.bool_)
     if packed.ndim == 2:
-        return np.unpackbits(packed, axis=1, count=num_rows).astype(bool)
+        return np.unpackbits(packed, axis=1, count=num_rows).view(np.bool_)
     raise ValueError(f"packed tidlists must be 1-D or 2-D, got shape {packed.shape}")
 
 
+def is_sparse(tid: np.ndarray) -> bool:
+    """True when ``tid`` is a sorted-index tidlist (integer dtype), False for
+    a packed ``uint8`` row."""
+    return np.asarray(tid).dtype != np.uint8
+
+
+def sparse_index_dtype(num_rows: int):
+    """Index dtype for sparse tidlists over ``num_rows`` rows: ``int32``
+    while the last row id fits, ``int64`` past 2³¹ − 1 rows."""
+    return np.int32 if num_rows <= _INT32_MAX else np.int64
+
+
+def sparse_eligible(count: int, num_rows: int) -> bool:
+    """Density rule: index representation once ``count·32 ≤ num_rows``."""
+    return count * SPARSE_DENSITY <= num_rows
+
+
+def to_sparse(tid: np.ndarray, num_rows: int) -> np.ndarray:
+    """Sorted-index form of a tidlist (no-op for an already-sparse one)."""
+    tid = np.asarray(tid)
+    if is_sparse(tid):
+        return tid
+    return np.flatnonzero(unpack_rows(tid, num_rows)).astype(
+        sparse_index_dtype(num_rows), copy=False
+    )
+
+
+def to_packed(tid: np.ndarray, num_rows: int) -> np.ndarray:
+    """Packed ``uint8`` form of a tidlist (no-op for an already-packed one)."""
+    tid = np.asarray(tid)
+    if not is_sparse(tid):
+        return tid
+    mask = np.zeros(num_rows, dtype=bool)
+    mask[tid] = True
+    return pack_rows(mask)
+
+
+def bit_test(packed: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Gather bits ``indices`` out of a packed row (big-endian bit order):
+    row ``r`` lives in byte ``r >> 3`` at bit ``7 - (r & 7)``."""
+    indices = np.asarray(indices)
+    bits = packed[indices >> 3] >> (7 - (indices & 7)).astype(np.uint8)
+    return (bits & 1).astype(bool)
+
+
+def galloping_intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted index arrays via binary search of the
+    smaller into the larger — ``O(|small| · log |large|)``, the win over a
+    linear merge when the lists are very unequal (a deep extent against a
+    level-1 item)."""
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0:
+        return a
+    pos = np.searchsorted(b, a)
+    pos[pos == b.size] = b.size - 1
+    return a[b[pos] == a]
+
+
 def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Bitwise AND of packed tidlists (broadcasts like ``np.bitwise_and``)."""
-    return np.bitwise_and(a, b)
+    """Intersection of two tidlists, dispatching on representation.
+
+    packed × packed returns packed (one vectorized ``bitwise_and``,
+    broadcasting like the ufunc); any sparse operand returns sparse —
+    galloping for sparse × sparse, a :func:`bit_test` gather for
+    sparse × packed.  The result of a mixed intersection is at most as
+    large as the sparse side, so staying sparse never loses eligibility.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    a_sparse = is_sparse(a)
+    b_sparse = is_sparse(b)
+    if not a_sparse and not b_sparse:
+        return np.bitwise_and(a, b)
+    if a_sparse and b_sparse:
+        return galloping_intersect(a, b)
+    if a_sparse:
+        return a[bit_test(b, a)]
+    return b[bit_test(a, b)]
+
+
+def tid_count(tid: np.ndarray) -> int:
+    """Row count of a tidlist in either representation (always a python int,
+    immune to 32-bit accumulator overflow)."""
+    tid = np.asarray(tid)
+    if is_sparse(tid):
+        return int(tid.size)
+    return int(popcount(tid))
 
 
 def popcount(packed: np.ndarray) -> np.ndarray | int:
@@ -85,15 +205,22 @@ def popcount(packed: np.ndarray) -> np.ndarray | int:
     ``(m, w)`` matrix returns an ``(m,)`` int64 array — including the
     degenerate ``(m, 0)`` width, which counts as zero bits per row.  The
     native ``np.bitwise_count`` path and the byte-LUT fallback agree on
-    dtype and shape for every input; the CI matrix runs both.
+    dtype and shape for every input; the CI matrix runs both.  A sparse
+    (sorted-index) tidlist dispatches to its length.
     """
+    arr = np.asarray(packed)
+    if arr.ndim == 1 and arr.dtype.kind in "iu" and arr.dtype != np.uint8:
+        return int(arr.size)
     packed = np.asarray(packed, dtype=np.uint8)
     if _HAVE_BITWISE_COUNT:
-        counts = np.bitwise_count(packed).astype(np.int64)
+        counts = np.bitwise_count(packed)
     else:
         counts = _POPCOUNT_LUT[packed]
     if packed.ndim == 0:
         return int(counts)
+    # Summing the uint8 byte counts straight into int64 keeps the transient
+    # at 1 byte per packed byte; an astype here would hold an 8× copy of
+    # the whole batch while the guard popcount of a flush group runs.
     summed = counts.sum(axis=-1, dtype=np.int64)
     return int(summed) if packed.ndim == 1 else summed
 
@@ -101,11 +228,19 @@ def popcount(packed: np.ndarray) -> np.ndarray | int:
 def covers_all(tidlists: np.ndarray, extent: np.ndarray) -> np.ndarray:
     """For each packed tidlist, does it cover every row of ``extent``?
 
-    ``tidlists`` is a ``(k, w)`` packed matrix, ``extent`` a ``(w,)`` packed
-    row.  Returns a ``(k,)`` boolean array with ``out[i]`` true iff
-    ``tidlists[i] ⊇ extent`` — the closure membership test, one broadcast
-    AND over the whole alphabet per lattice node.
+    ``tidlists`` is a ``(k, w)`` packed matrix; ``extent`` is a ``(w,)``
+    packed row or a sparse index tidlist.  Returns a ``(k,)`` boolean array
+    with ``out[i]`` true iff ``tidlists[i] ⊇ extent`` — the closure
+    membership test, one broadcast AND over the whole alphabet per lattice
+    node.  A sparse extent gathers only its ``(k, count)`` addressed bits
+    instead of touching all ``k · n/8`` bytes.
     """
+    extent = np.asarray(extent)
+    if is_sparse(extent):
+        if extent.size == 0:
+            return np.ones(tidlists.shape[0], dtype=bool)
+        bits = (tidlists[:, extent >> 3] >> (7 - (extent & 7)).astype(np.uint8)) & 1
+        return bits.all(axis=1)
     return ~np.any((tidlists & extent[None, :]) != extent[None, :], axis=1)
 
 
@@ -113,3 +248,21 @@ def extent_key(packed: np.ndarray) -> bytes:
     """Hashable identity of a packed extent (padding bits are zero, so equal
     row sets always map to equal keys)."""
     return np.ascontiguousarray(packed).tobytes()
+
+
+def tid_key(tid: np.ndarray, num_rows: int) -> bytes:
+    """Hashable identity of a tidlist in *either* representation.
+
+    Equal row sets map to equal keys regardless of how the tidlist is
+    stored: the key canonicalizes through the density rule — index bytes
+    (prefixed to stay disjoint from packed bytes) below the
+    :data:`SPARSE_DENSITY` threshold, packed bytes above it — converting
+    whichever form it was handed.  ``O(min(count·log, n/8))`` like the
+    operations themselves.
+    """
+    tid = np.asarray(tid)
+    count = tid_count(tid)
+    if sparse_eligible(count, num_rows):
+        indices = to_sparse(tid, num_rows)
+        return b"s" + np.ascontiguousarray(indices.astype(np.int64, copy=False)).tobytes()
+    return extent_key(to_packed(tid, num_rows))

@@ -138,9 +138,20 @@ class LatticeEngine:
 
 
 class ClosedMiningEngine:
-    """Closed-pattern mining over packed bitsets (one node per extent)."""
+    """Closed-pattern mining over packed bitsets (one node per extent).
+
+    ``projection`` selects the conditional-database strategy of
+    :func:`repro.mining.closed.mine_closed_candidates` — ``"auto"``
+    (default) projects shrunken branches into local coordinate spaces so
+    deep nodes pay proportional to their parent extent, ``"never"`` is
+    the flat full-width traversal, ``"always"`` projects every eligible
+    branch.  All three emit identical candidates.
+    """
 
     name = "mining"
+
+    def __init__(self, projection: str = "auto") -> None:
+        self.projection = projection
 
     def generate(
         self,
@@ -173,6 +184,7 @@ class ClosedMiningEngine:
             alphabet=resolve_alphabet(
                 table, alphabet_cache, support_threshold, num_bins, exclude_features
             ),
+            projection=self.projection,
         )
         return CandidateResult(
             candidates=mined.candidates,

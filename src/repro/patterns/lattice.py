@@ -218,6 +218,12 @@ def compute_candidates(
     start = time.perf_counter()
     with trace.span("lattice.level", level=1) as level_span:
         if alphabet is not None:
+            if getattr(alphabet, "packed", False):
+                raise ValueError(
+                    "the lattice engine consumes boolean level-1 masks and cannot "
+                    "run on a packed (out-of-core) alphabet; use engine='mining' "
+                    "for tables this large"
+                )
             # Shared pre-built alphabet: full-coverage predicates (which would
             # "remove the entire data") are already filtered out of entries.
             entries = alphabet.entries

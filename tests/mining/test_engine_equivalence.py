@@ -129,6 +129,34 @@ class TestSyntheticEquivalence:
         assert 0 < mined.num_evaluated < lattice.num_evaluated
 
 
+class TestProjectedEngineEquivalence:
+    """The projected miner must match the *lattice* too, not just the flat
+    miner — the engine acceptance contract is projection-independent."""
+
+    @pytest.mark.parametrize("projection", ["always", "auto"])
+    def test_projected_mining_matches_lattice(
+        self, projection, german_train, german_series_estimator
+    ):
+        opts = dict(support_threshold=0.05, max_predicates=3)
+        lattice = make_engine("lattice").generate(
+            german_train.table, german_series_estimator, **opts
+        )
+        mined = make_engine("mining", projection=projection).generate(
+            german_train.table, german_series_estimator, **opts
+        )
+        assert_identical_top_k(lattice, mined, 5)
+        assert mined.num_evaluated <= lattice.num_evaluated
+
+    def test_projected_mining_matches_lattice_synthetic(self, synth_setup):
+        table, estimator = synth_setup
+        opts = dict(support_threshold=0.05, max_predicates=3)
+        lattice = make_engine("lattice").generate(table, estimator, **opts)
+        mined = make_engine("mining", projection="always").generate(
+            table, estimator, **opts
+        )
+        assert_identical_top_k(lattice, mined, 5)
+
+
 class TestEngineProtocol:
     def test_list_engines(self):
         assert list_engines() == ["lattice", "mining"]

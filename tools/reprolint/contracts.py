@@ -151,6 +151,12 @@ REPRO_CONTRACTS = ContractSet(
         ("PredicateAlphabet", "_build"): BuildContract(
             None, reason="constructor helper, called from __init__ only"
         ),
+        ("PredicateAlphabet", "_build_packed"): BuildContract(
+            "block_streams", stats_attr="_stats"
+        ),
+        ("PredicateAlphabet", "record_mining_counters"): BuildContract(
+            "projection_builds", stats_attr="_stats"
+        ),
         ("PredicateAlphabet", "_filter_entries"): BuildContract(
             None, reason="constructor/edit helper of the counted _build/apply_edit entries"
         ),
